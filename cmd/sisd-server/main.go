@@ -1,0 +1,37 @@
+// Command sisd-server runs the interactive exploration API (a SIDE-style
+// session server, §V of the paper): create a session over a dataset,
+// then iteratively mine, explain and commit patterns over HTTP.
+//
+//	sisd-server -addr :8080
+//
+//	curl -X POST localhost:8080/api/sessions -d '{"dataset":"crime"}'
+//	curl -X POST localhost:8080/api/sessions/s0001/mine -d '{"spread":false}'
+//	curl -X POST localhost:8080/api/sessions/s0001/commit
+//	curl      localhost:8080/api/sessions/s0001/history
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sisd-server: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New().Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+// Package sisd is a standalone Go implementation of "Subjectively
+// Interesting Subgroup Discovery on Real-valued Targets" (Lijffijt,
+// Kang, Duivesteijn, Puolamäki, Oikarinen, De Bie — ICDE 2018,
+// arXiv:1710.04521).
+//
+// The library finds subgroups of a dataset — described by conjunctions
+// of conditions on arbitrarily-typed description attributes — whose
+// real-valued target attributes are maximally informative to a specific
+// user. Informativeness is measured by the Subjective Interestingness
+// (SI) of the FORSIED framework: the information content of the pattern
+// under a Maximum-Entropy background distribution representing the
+// user's current beliefs, divided by the pattern's description length.
+// Two pattern types are supported:
+//
+//   - location patterns: the subgroup's target mean is surprising;
+//   - spread patterns: the subgroup's variance along a direction w in
+//     target space is surprising (only shown after the location, which
+//     is required to interpret it).
+//
+// After each pattern is shown, the background distribution is updated
+// by information projection (Theorems 1 and 2 of the paper), so the
+// next iteration automatically surfaces non-redundant patterns.
+//
+// # Quick start
+//
+//	ds := ...                      // *sisd.Dataset (see ReadCSV / generators)
+//	m, err := sisd.NewMiner(ds, sisd.Config{})
+//	loc, _, err := m.MineLocation()      // best location pattern
+//	err = m.CommitLocation(loc)          // tell the model the user saw it
+//	sp, err := m.MineSpread(loc)         // most surprising direction
+//	err = m.CommitSpread(sp)
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md for the system inventory and the mapping from the paper's
+// tables and figures to the benchmarks that regenerate them.
+package sisd

@@ -1,0 +1,75 @@
+package sisd_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	sisd "repro"
+)
+
+func TestReadARFFViaFacade(t *testing.T) {
+	arff := `@relation demo
+@attribute flag {no, yes}
+@attribute score numeric
+@data
+no, 0.1
+yes, 3.0
+yes, 3.1
+no, 0.2
+yes, 2.9
+no, 0.3
+`
+	ds, err := sisd.ReadARFF(strings.NewReader(arff), []string{"score"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sisd.NewMiner(ds, sisd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(loc.Intention.Format(ds), "flag") {
+		t.Fatalf("top pattern = %v", loc.Intention.Format(ds))
+	}
+}
+
+func TestMineOptimalLocation1DViaFacade(t *testing.T) {
+	ds := sisd.GenerateCrimeLike(1994)
+	col := ds.TargetColumn(0)
+	var mean, m2 float64
+	for i, v := range col {
+		d := v - mean
+		mean += d / float64(i+1)
+		m2 += d * (v - mean)
+	}
+	variance := m2 / float64(len(col))
+
+	opt := sisd.MineOptimalLocation1D(ds, mean, variance,
+		sisd.DefaultSIParams(), 1, 4, 2)
+	if opt.Extension == nil || opt.SI <= 0 {
+		t.Fatalf("optimal result = %+v", opt)
+	}
+	// At depth 1 the global optimum must match the beam's best
+	// single-condition pattern (the beam evaluates all of them).
+	m, err := sisd.NewMiner(ds, sisd.Config{
+		Search: sisd.SearchParams{MaxDepth: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt.SI-loc.SI) > 1e-6*(1+loc.SI) {
+		t.Fatalf("B&B SI %v vs beam depth-1 SI %v", opt.SI, loc.SI)
+	}
+	if opt.Intention.Key() != loc.Intention.Key() {
+		t.Fatalf("B&B %v vs beam %v",
+			opt.Intention.Format(ds), loc.Intention.Format(ds))
+	}
+}

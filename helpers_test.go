@@ -1,0 +1,7 @@
+package sisd_test
+
+import "time"
+
+func timeNowPlusMillis(ms int) time.Time {
+	return time.Now().Add(time.Duration(ms) * time.Millisecond)
+}

@@ -1,0 +1,563 @@
+// Package background implements the FORSIED background distribution of
+// §II-B of the paper: a product of independent multivariate normal
+// distributions, one per data point, which starts as the MaxEnt
+// distribution subject to the user's prior beliefs (a mean vector µ and
+// covariance matrix Σ for every point, Eq. 3) and evolves as location
+// and spread patterns are shown to the user (Eq. 4).
+//
+// Per-point parameters are stored once per group: the equivalence class
+// of points that belong to exactly the same set of committed pattern
+// extensions (footnote 2 of the paper: the number of distinct (µᵢ, Σᵢ)
+// stays small). Committing a pattern splits the crossing groups and then
+// runs the paper's coordinate descent — cyclic I-projections onto each
+// stored constraint — until all expectation constraints hold.
+package background
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/mat"
+)
+
+// ErrNoPoints is returned when an update is requested for an empty
+// extension.
+var ErrNoPoints = errors.New("background: empty extension")
+
+// Group is a set of data points sharing background parameters.
+type Group struct {
+	Members *bitset.Set
+	Count   int
+	Mu      mat.Vec
+	Sigma   *mat.Dense
+
+	chol *mat.Cholesky // cache of Sigma's factorization; nil when stale
+}
+
+// Chol returns a cached Cholesky factorization of the group covariance.
+func (g *Group) Chol() (*mat.Cholesky, error) {
+	if g.chol == nil {
+		c, err := mat.NewCholesky(g.Sigma)
+		if err != nil {
+			return nil, err
+		}
+		g.chol = c
+	}
+	return g.chol, nil
+}
+
+func (g *Group) invalidate() { g.chol = nil }
+
+// constraint is one committed pattern, replayed during coordinate
+// descent. Extensions always align with group boundaries because Commit*
+// splits groups first.
+type constraint interface {
+	// apply performs the closed-form single-constraint I-projection and
+	// returns the expectation violation before the update.
+	apply(m *Model) (violation float64, err error)
+}
+
+// locationConstraint pins E[f_I(Y)] = target (Eq. 6).
+type locationConstraint struct {
+	ext    *bitset.Set
+	target mat.Vec // ŷ_I
+}
+
+// spreadConstraint pins E[g_I^w(Y)] = value (Eq. 9), with the variance
+// statistic centered at the (constant) subgroup mean ŷ_I.
+type spreadConstraint struct {
+	ext    *bitset.Set
+	w      mat.Vec
+	center mat.Vec // ŷ_I
+	value  float64 // v̂
+}
+
+// Model is the background distribution.
+type Model struct {
+	n, d   int
+	groups []*Group
+	cons   []constraint
+
+	// Tol is the maximum allowed relative expectation violation after
+	// Commit; the coordinate descent loops until all constraints hold
+	// within Tol (violations are normalized by the constraint's scale).
+	Tol float64
+	// MaxSweeps bounds the coordinate descent; with disjoint extensions a
+	// single sweep suffices (the projections are independent).
+	MaxSweeps int
+
+	// LastSweeps records how many coordinate descent sweeps the most
+	// recent Commit used, for diagnostics and the Table II experiment.
+	LastSweeps int
+}
+
+// New creates the initial MaxEnt background distribution p0: every point
+// shares the prior mean mu and covariance sigma (Eq. 3). sigma must be
+// symmetric positive definite.
+func New(n int, mu mat.Vec, sigma *mat.Dense) (*Model, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("background: need n > 0, got %d", n)
+	}
+	d := len(mu)
+	if sigma.R != d || sigma.C != d {
+		return nil, fmt.Errorf("background: sigma is %dx%d for %d-dim mean",
+			sigma.R, sigma.C, d)
+	}
+	if _, err := mat.NewCholesky(sigma); err != nil {
+		return nil, fmt.Errorf("background: prior covariance: %w", err)
+	}
+	g := &Group{
+		Members: bitset.Full(n),
+		Count:   n,
+		Mu:      mu.Clone(),
+		Sigma:   sigma.Clone(),
+	}
+	return &Model{
+		n:         n,
+		d:         d,
+		groups:    []*Group{g},
+		Tol:       1e-8,
+		MaxSweeps: 5000,
+	}, nil
+}
+
+// N returns the number of data points.
+func (m *Model) N() int { return m.n }
+
+// D returns the target dimensionality.
+func (m *Model) D() int { return m.d }
+
+// NumGroups returns the current number of parameter groups.
+func (m *Model) NumGroups() int { return len(m.groups) }
+
+// NumConstraints returns the number of committed patterns.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// Groups exposes the parameter groups for read-only inspection.
+func (m *Model) Groups() []*Group { return m.groups }
+
+// Clone returns a deep copy of the model (used by what-if scoring).
+func (m *Model) Clone() *Model {
+	out := &Model{
+		n: m.n, d: m.d,
+		Tol:       m.Tol,
+		MaxSweeps: m.MaxSweeps,
+	}
+	out.groups = make([]*Group, len(m.groups))
+	for i, g := range m.groups {
+		out.groups[i] = &Group{
+			Members: g.Members.Clone(),
+			Count:   g.Count,
+			Mu:      g.Mu.Clone(),
+			Sigma:   g.Sigma.Clone(),
+		}
+	}
+	out.cons = append([]constraint(nil), m.cons...)
+	return out
+}
+
+// GroupOf returns the group containing point i (linear scan over groups;
+// group counts stay small).
+func (m *Model) GroupOf(i int) *Group {
+	for _, g := range m.groups {
+		if g.Members.Contains(i) {
+			return g
+		}
+	}
+	return nil
+}
+
+// split refines the partition so every group is fully inside or outside
+// ext.
+func (m *Model) split(ext *bitset.Set) {
+	var out []*Group
+	for _, g := range m.groups {
+		in := g.Members.And(ext)
+		ic := in.Count()
+		if ic == 0 || ic == g.Count {
+			out = append(out, g)
+			continue
+		}
+		outside := g.Members.AndNot(ext)
+		out = append(out,
+			&Group{Members: in, Count: ic, Mu: g.Mu.Clone(), Sigma: g.Sigma.Clone()},
+			&Group{Members: outside, Count: g.Count - ic, Mu: g.Mu.Clone(), Sigma: g.Sigma.Clone()},
+		)
+	}
+	m.groups = out
+}
+
+// insideGroups returns the groups fully contained in ext, assuming split
+// has aligned the partition, along with the total point count.
+func (m *Model) insideGroups(ext *bitset.Set) ([]*Group, int) {
+	var gs []*Group
+	total := 0
+	for _, g := range m.groups {
+		if ext.Contains(firstMember(g.Members)) && g.Members.IntersectCount(ext) == g.Count {
+			gs = append(gs, g)
+			total += g.Count
+		}
+	}
+	return gs, total
+}
+
+func firstMember(s *bitset.Set) int {
+	first := -1
+	s.ForEach(func(i int) {
+		if first < 0 {
+			first = i
+		}
+	})
+	return first
+}
+
+// SubgroupMeanMarginal returns the marginal distribution of the subgroup
+// mean statistic f_I(Y) under the current background model: its mean
+// µ_I = Σ_{i∈I} µᵢ/|I| and covariance Σ_I = Σ_{i∈I} Σᵢ/|I|² (the
+// covariance of a mean of |I| independent normals; see DESIGN.md §2 on
+// the paper's missing 1/|I| factor). The extension need not align with
+// group boundaries.
+func (m *Model) SubgroupMeanMarginal(ext *bitset.Set) (mu mat.Vec, cov *mat.Dense, err error) {
+	cnt := ext.Count()
+	if cnt == 0 {
+		return nil, nil, ErrNoPoints
+	}
+	mu = make(mat.Vec, m.d)
+	cov = mat.NewDense(m.d, m.d)
+	for _, g := range m.groups {
+		ic := g.Members.IntersectCount(ext)
+		if ic == 0 {
+			continue
+		}
+		w := float64(ic)
+		mu.AddScaled(w, g.Mu)
+		cov.AddScaled(w, g.Sigma)
+	}
+	mu.Scale(1 / float64(cnt))
+	cov.Scale(1 / float64(cnt*cnt))
+	return mu, cov, nil
+}
+
+// GroupStats describes, for one parameter group intersecting an
+// extension, the quantities the spread-pattern IC needs.
+type GroupStats struct {
+	Count     int     // points of the group inside the extension
+	S         float64 // wᵀ·Σ_g·w
+	MeanShift float64 // wᵀ·(center − µ_g)
+}
+
+// SpreadStats returns per-group statistics for the direction w and
+// center (normally the subgroup mean ŷ_I): the projected variances
+// wᵀΣw and mean shifts wᵀ(ŷ_I − µ). The extension need not align with
+// group boundaries.
+func (m *Model) SpreadStats(ext *bitset.Set, w, center mat.Vec) []GroupStats {
+	var out []GroupStats
+	for _, g := range m.groups {
+		ic := g.Members.IntersectCount(ext)
+		if ic == 0 {
+			continue
+		}
+		sw := g.Sigma.MulVec(w)
+		out = append(out, GroupStats{
+			Count:     ic,
+			S:         w.Dot(sw),
+			MeanShift: w.Dot(center.Sub(g.Mu)),
+		})
+	}
+	return out
+}
+
+// DistinctSigmaChols returns the Cholesky factorization shared by all
+// groups when every group currently has an identical covariance matrix
+// (true as long as only location patterns have been committed, since
+// Theorem 1 leaves Σ untouched), and ok=false otherwise. The beam search
+// uses this fast path to avoid a d³ factorization per candidate.
+func (m *Model) DistinctSigmaChols() (chol *mat.Cholesky, ok bool, err error) {
+	if len(m.groups) == 0 {
+		return nil, false, nil
+	}
+	first := m.groups[0]
+	for _, g := range m.groups[1:] {
+		if g.Sigma.MaxAbsDiff(first.Sigma) > 0 {
+			return nil, false, nil
+		}
+	}
+	c, err := first.Chol()
+	if err != nil {
+		return nil, false, err
+	}
+	return c, true, nil
+}
+
+// snapshotGroups deep-copies the current group parameters so a failed
+// commit can be rolled back.
+func (m *Model) snapshotGroups() []*Group {
+	out := make([]*Group, len(m.groups))
+	for i, g := range m.groups {
+		out[i] = &Group{
+			Members: g.Members.Clone(),
+			Count:   g.Count,
+			Mu:      g.Mu.Clone(),
+			Sigma:   g.Sigma.Clone(),
+		}
+	}
+	return out
+}
+
+// CommitLocation assimilates a location pattern: the user has been told
+// that the subgroup with the given extension has target mean yhat. The
+// model is updated per Theorem 1 and then coordinate descent re-enforces
+// every stored constraint. Commits are transactional: on error the
+// model is left exactly as it was.
+func (m *Model) CommitLocation(ext *bitset.Set, yhat mat.Vec) error {
+	if ext.Count() == 0 {
+		return ErrNoPoints
+	}
+	if len(yhat) != m.d {
+		return fmt.Errorf("background: location target has dim %d, want %d", len(yhat), m.d)
+	}
+	saved := m.snapshotGroups()
+	m.split(ext)
+	m.cons = append(m.cons, &locationConstraint{ext: ext.Clone(), target: yhat.Clone()})
+	if err := m.refit(); err != nil {
+		m.groups = saved
+		m.cons = m.cons[:len(m.cons)-1]
+		return err
+	}
+	return nil
+}
+
+// CommitSpread assimilates a spread pattern: the subgroup with the given
+// extension has variance value along unit direction w, measured around
+// center (its mean, which must already have been committed as a location
+// pattern — the paper only ever shows spread patterns after location
+// patterns). The model is updated per Theorem 2 and coordinate descent
+// re-enforces every stored constraint.
+func (m *Model) CommitSpread(ext *bitset.Set, w mat.Vec, center mat.Vec, value float64) error {
+	if ext.Count() == 0 {
+		return ErrNoPoints
+	}
+	if len(w) != m.d || len(center) != m.d {
+		return fmt.Errorf("background: spread direction/center has wrong dim")
+	}
+	if value <= 0 {
+		return fmt.Errorf("background: spread value must be positive, got %v", value)
+	}
+	nrm := w.Norm()
+	if math.Abs(nrm-1) > 1e-8 {
+		return fmt.Errorf("background: w must be a unit vector (norm %v)", nrm)
+	}
+	saved := m.snapshotGroups()
+	m.split(ext)
+	m.cons = append(m.cons, &spreadConstraint{
+		ext: ext.Clone(), w: w.Clone(), center: center.Clone(), value: value,
+	})
+	if err := m.refit(); err != nil {
+		m.groups = saved
+		m.cons = m.cons[:len(m.cons)-1]
+		return err
+	}
+	return nil
+}
+
+// refit runs the coordinate descent: cyclic I-projections onto each
+// constraint until every expectation holds within Tol.
+func (m *Model) refit() error {
+	m.LastSweeps = 0
+	for sweep := 0; sweep < m.MaxSweeps; sweep++ {
+		m.LastSweeps = sweep + 1
+		var worst float64
+		for _, c := range m.cons {
+			v, err := c.apply(m)
+			if err != nil {
+				return err
+			}
+			if v > worst {
+				worst = v
+			}
+		}
+		if worst <= m.Tol {
+			return nil
+		}
+	}
+	return fmt.Errorf("background: coordinate descent did not converge in %d sweeps", m.MaxSweeps)
+}
+
+// apply implements Theorem 1. With Σ̄_I = Σ_{i∈I} Σᵢ/|I| and
+// µ̄_I = Σ_{i∈I} µᵢ/|I|, the I-projection sets
+//
+//	µᵢ ← µᵢ + Σᵢ·λ,  λ = Σ̄_I⁻¹ (ŷ_I − µ̄_I)
+//
+// for i ∈ I and leaves all covariances untouched.
+func (c *locationConstraint) apply(m *Model) (float64, error) {
+	gs, total := m.insideGroups(c.ext)
+	if total == 0 {
+		return 0, ErrNoPoints
+	}
+	muBar := make(mat.Vec, m.d)
+	sigmaBar := mat.NewDense(m.d, m.d)
+	for _, g := range gs {
+		w := float64(g.Count) / float64(total)
+		muBar.AddScaled(w, g.Mu)
+		sigmaBar.AddScaled(w, g.Sigma)
+	}
+	resid := c.target.Sub(muBar)
+	violation := maxAbs(resid) / (1 + maxAbs(c.target))
+	if violation <= m.Tol/2 {
+		return violation, nil
+	}
+	lambda, err := mat.SolveSPD(sigmaBar, resid)
+	if err != nil {
+		return 0, fmt.Errorf("background: location update: %w", err)
+	}
+	for _, g := range gs {
+		g.Mu.AddScaled(1, g.Sigma.MulVec(lambda))
+	}
+	return violation, nil
+}
+
+// apply implements Theorem 2. With s_g = wᵀΣ_g w and b_g = wᵀ(ŷ_I−µ_g),
+// the multiplier λ is the unique root of Eq. 12,
+//
+//	Σ_g c_g [ s_g/(1+λs_g) + b_g²/(1+λs_g)² ] = |I|·v̂ ,
+//
+// and each inside group is updated by Eqs. 10–11 (a Sherman–Morrison
+// rank-1 precision update).
+func (c *spreadConstraint) apply(m *Model) (float64, error) {
+	gs, total := m.insideGroups(c.ext)
+	if total == 0 {
+		return 0, ErrNoPoints
+	}
+	type gstat struct {
+		g      *Group
+		s, b   float64
+		sigmaW mat.Vec
+		count  float64
+	}
+	stats := make([]gstat, len(gs))
+	maxS := 0.0
+	for i, g := range gs {
+		sw := g.Sigma.MulVec(c.w)
+		s := c.w.Dot(sw)
+		if s <= 0 {
+			return 0, fmt.Errorf("background: non-positive projected variance %v", s)
+		}
+		stats[i] = gstat{g: g, s: s, b: c.w.Dot(c.center.Sub(g.Mu)), sigmaW: sw,
+			count: float64(g.Count)}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	target := float64(total) * c.value
+	lhs := func(lambda float64) float64 {
+		var sum float64
+		for _, st := range stats {
+			den := 1 + lambda*st.s
+			sum += st.count * (st.s/den + st.b*st.b/(den*den))
+		}
+		return sum
+	}
+	violation := math.Abs(lhs(0)-target) / (float64(total) * (1 + c.value))
+	if violation <= m.Tol/2 {
+		return violation, nil
+	}
+
+	// Bracket the root: lhs is strictly decreasing on (−1/maxS, ∞),
+	// diverges to +∞ at the left end and decays to 0 at +∞.
+	lo := -1/maxS + 1e-12/maxS
+	for lhs(lo) < target { // squeeze toward the pole until lhs exceeds target
+		lo = -1/maxS + (lo+1/maxS)/16
+		if lo <= -1/maxS {
+			return 0, fmt.Errorf("background: cannot bracket spread multiplier")
+		}
+	}
+	hi := math.Max(1.0, -2*lo)
+	for lhs(hi) > target {
+		hi *= 2
+		if hi > 1e18 {
+			return 0, fmt.Errorf("background: spread multiplier diverged")
+		}
+	}
+	// Bisection to machine-level tolerance.
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if lhs(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-15*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	lambda := (lo + hi) / 2
+
+	for _, st := range stats {
+		den := 1 + lambda*st.s
+		// Eq. 10: µ ← µ + λ·wᵀ(ŷ_I−µ)·Σw/(1+λs).
+		st.g.Mu.AddScaled(lambda*st.b/den, st.sigmaW)
+		// Eq. 11: Σ ← Σ − λ·(Σw)(Σw)ᵀ/(1+λs).
+		st.g.Sigma.AddOuterScaled(-lambda/den, st.sigmaW, st.sigmaW)
+		st.g.Sigma.Symmetrize()
+		st.g.invalidate()
+		// Theorem 2 preserves positive definiteness in exact arithmetic
+		// (1+λs > 0); extreme squeezes can still underflow numerically,
+		// which must surface as an error (the commit rolls back), not as
+		// a silently broken model.
+		if _, err := st.g.Chol(); err != nil {
+			return 0, fmt.Errorf("background: spread update made a covariance numerically singular: %w", err)
+		}
+	}
+	return violation, nil
+}
+
+func maxAbs(v mat.Vec) float64 {
+	var mx float64
+	for _, x := range v {
+		if a := math.Abs(x); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// PointMean returns µᵢ for point i (for visualization/tests).
+func (m *Model) PointMean(i int) mat.Vec {
+	g := m.GroupOf(i)
+	if g == nil {
+		return nil
+	}
+	return g.Mu.Clone()
+}
+
+// PointCov returns Σᵢ for point i (for visualization/tests).
+func (m *Model) PointCov(i int) *mat.Dense {
+	g := m.GroupOf(i)
+	if g == nil {
+		return nil
+	}
+	return g.Sigma.Clone()
+}
+
+// ExpectedSpread returns E[g_I^w(Y)] under the current model for the
+// given extension, direction and center:
+// (1/|I|) Σ_{i∈I} [ wᵀΣᵢw + (wᵀ(µᵢ − center))² ].
+func (m *Model) ExpectedSpread(ext *bitset.Set, w, center mat.Vec) (float64, error) {
+	cnt := ext.Count()
+	if cnt == 0 {
+		return 0, ErrNoPoints
+	}
+	var sum float64
+	for _, g := range m.groups {
+		ic := g.Members.IntersectCount(ext)
+		if ic == 0 {
+			continue
+		}
+		s := g.Sigma.QuadForm(w)
+		b := w.Dot(g.Mu.Sub(center))
+		sum += float64(ic) * (s + b*b)
+	}
+	return sum / float64(cnt), nil
+}

@@ -1,0 +1,148 @@
+package background
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bitset"
+	"repro/internal/mat"
+)
+
+// The JSON wire format for a saved model. Groups carry the current
+// parameters; constraints are replayed on load so a restored model can
+// keep committing patterns with full coordinate-descent consistency.
+
+type modelJSON struct {
+	N           int              `json:"n"`
+	D           int              `json:"d"`
+	Tol         float64          `json:"tol"`
+	MaxSweeps   int              `json:"maxSweeps"`
+	Groups      []groupJSON      `json:"groups"`
+	Constraints []constraintJSON `json:"constraints"`
+}
+
+type groupJSON struct {
+	Members []int     `json:"members"`
+	Mu      []float64 `json:"mu"`
+	Sigma   []float64 `json:"sigma"` // row-major d×d
+}
+
+type constraintJSON struct {
+	Kind   string    `json:"kind"` // "location" or "spread"
+	Ext    []int     `json:"ext"`
+	Target []float64 `json:"target,omitempty"` // location: ŷ_I
+	W      []float64 `json:"w,omitempty"`      // spread
+	Center []float64 `json:"center,omitempty"` // spread
+	Value  float64   `json:"value,omitempty"`  // spread: v̂
+}
+
+// SaveJSON serializes the full model state — group parameters and the
+// committed constraint list — so an interactive session can be
+// persisted and resumed.
+func (m *Model) SaveJSON(w io.Writer) error {
+	out := modelJSON{
+		N: m.n, D: m.d, Tol: m.Tol, MaxSweeps: m.MaxSweeps,
+	}
+	for _, g := range m.groups {
+		out.Groups = append(out.Groups, groupJSON{
+			Members: g.Members.Indices(),
+			Mu:      g.Mu,
+			Sigma:   g.Sigma.Data,
+		})
+	}
+	for _, c := range m.cons {
+		switch c := c.(type) {
+		case *locationConstraint:
+			out.Constraints = append(out.Constraints, constraintJSON{
+				Kind: "location", Ext: c.ext.Indices(), Target: c.target,
+			})
+		case *spreadConstraint:
+			out.Constraints = append(out.Constraints, constraintJSON{
+				Kind: "spread", Ext: c.ext.Indices(),
+				W: c.w, Center: c.center, Value: c.value,
+			})
+		default:
+			return fmt.Errorf("background: unknown constraint type %T", c)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// LoadJSON reconstructs a model saved with SaveJSON.
+func LoadJSON(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("background: decoding model: %w", err)
+	}
+	if in.N <= 0 || in.D <= 0 {
+		return nil, fmt.Errorf("background: invalid dimensions %d×%d", in.N, in.D)
+	}
+	m := &Model{
+		n: in.N, d: in.D,
+		Tol: in.Tol, MaxSweeps: in.MaxSweeps,
+	}
+	if m.Tol <= 0 {
+		m.Tol = 1e-8
+	}
+	if m.MaxSweeps <= 0 {
+		m.MaxSweeps = 5000
+	}
+	covered := 0
+	for gi, g := range in.Groups {
+		if len(g.Mu) != in.D || len(g.Sigma) != in.D*in.D {
+			return nil, fmt.Errorf("background: group %d has inconsistent dimensions", gi)
+		}
+		sigma := mat.NewDense(in.D, in.D)
+		copy(sigma.Data, g.Sigma)
+		if _, err := mat.NewCholesky(sigma); err != nil {
+			return nil, fmt.Errorf("background: group %d covariance not SPD: %w", gi, err)
+		}
+		members := bitset.FromIndices(in.N, g.Members)
+		if members.Count() != len(g.Members) {
+			return nil, fmt.Errorf("background: group %d has duplicate members", gi)
+		}
+		covered += members.Count()
+		m.groups = append(m.groups, &Group{
+			Members: members,
+			Count:   members.Count(),
+			Mu:      append(mat.Vec(nil), g.Mu...),
+			Sigma:   sigma,
+		})
+	}
+	if covered != in.N {
+		return nil, fmt.Errorf("background: groups cover %d of %d points", covered, in.N)
+	}
+	for ci, c := range in.Constraints {
+		ext := bitset.FromIndices(in.N, c.Ext)
+		switch c.Kind {
+		case "location":
+			if len(c.Target) != in.D {
+				return nil, fmt.Errorf("background: constraint %d target dimension", ci)
+			}
+			m.cons = append(m.cons, &locationConstraint{
+				ext: ext, target: append(mat.Vec(nil), c.Target...),
+			})
+		case "spread":
+			if len(c.W) != in.D || len(c.Center) != in.D || c.Value <= 0 {
+				return nil, fmt.Errorf("background: constraint %d spread fields", ci)
+			}
+			m.cons = append(m.cons, &spreadConstraint{
+				ext: ext,
+				w:   append(mat.Vec(nil), c.W...), center: append(mat.Vec(nil), c.Center...),
+				value: c.Value,
+			})
+		default:
+			return nil, fmt.Errorf("background: constraint %d has unknown kind %q", ci, c.Kind)
+		}
+	}
+	// Re-enforce: saved parameters should already satisfy everything,
+	// but replaying guards against drift and validates the file.
+	if len(m.cons) > 0 {
+		if err := m.refit(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

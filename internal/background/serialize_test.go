@@ -1,0 +1,103 @@
+package background
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/mat"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := newModel(t, 60, 2)
+	extA := bitset.FromIndices(60, seq(0, 25))
+	if err := m.CommitLocation(extA, mat.Vec{2, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitSpread(extA, mat.Vec{1, 0}, mat.Vec{2, -1}, 0.4); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.SaveJSON(&buf); err != nil {
+		t.Fatalf("SaveJSON: %v", err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if got.N() != m.N() || got.D() != m.D() {
+		t.Fatal("dimensions changed")
+	}
+	if got.NumGroups() != m.NumGroups() || got.NumConstraints() != m.NumConstraints() {
+		t.Fatalf("structure changed: %d/%d groups, %d/%d constraints",
+			got.NumGroups(), m.NumGroups(), got.NumConstraints(), m.NumConstraints())
+	}
+	// Marginals agree.
+	muA, covA, _ := m.SubgroupMeanMarginal(extA)
+	muB, covB, _ := got.SubgroupMeanMarginal(extA)
+	if muA.Sub(muB).Norm() > 1e-9 {
+		t.Fatalf("means differ: %v vs %v", muA, muB)
+	}
+	if covA.MaxAbsDiff(covB) > 1e-9 {
+		t.Fatal("covariances differ")
+	}
+	// Constraints still hold on the restored model.
+	es, _ := got.ExpectedSpread(extA, mat.Vec{1, 0}, mat.Vec{2, -1})
+	if math.Abs(es-0.4) > 1e-6 {
+		t.Fatalf("restored spread constraint = %v", es)
+	}
+	// And the restored model keeps evolving correctly.
+	extB := bitset.FromIndices(60, seq(30, 50))
+	if err := got.CommitLocation(extB, mat.Vec{-3, 3}); err != nil {
+		t.Fatalf("commit on restored model: %v", err)
+	}
+	muN, _, _ := got.SubgroupMeanMarginal(extB)
+	if muN.Sub(mat.Vec{-3, 3}).Norm() > 1e-6 {
+		t.Fatal("restored model commit did not converge")
+	}
+}
+
+func TestLoadJSONRejectsCorruptInput(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"n":0,"d":1,"groups":[],"constraints":[]}`,
+		// Groups do not cover all points.
+		`{"n":4,"d":1,"groups":[{"members":[0,1],"mu":[0],"sigma":[1]}],"constraints":[]}`,
+		// Non-SPD covariance.
+		`{"n":2,"d":1,"groups":[{"members":[0,1],"mu":[0],"sigma":[-1]}],"constraints":[]}`,
+		// Bad constraint kind.
+		`{"n":2,"d":1,"groups":[{"members":[0,1],"mu":[0],"sigma":[1]}],
+		  "constraints":[{"kind":"wat","ext":[0]}]}`,
+		// Location constraint with wrong target dim.
+		`{"n":2,"d":1,"groups":[{"members":[0,1],"mu":[0],"sigma":[1]}],
+		  "constraints":[{"kind":"location","ext":[0],"target":[1,2]}]}`,
+		// Spread constraint with non-positive value.
+		`{"n":2,"d":1,"groups":[{"members":[0,1],"mu":[0],"sigma":[1]}],
+		  "constraints":[{"kind":"spread","ext":[0],"w":[1],"center":[0],"value":0}]}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadJSON(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSaveLoadFreshModel(t *testing.T) {
+	m := newModel(t, 10, 3)
+	var buf bytes.Buffer
+	if err := m.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumGroups() != 1 || got.NumConstraints() != 0 {
+		t.Fatalf("fresh model structure: %d groups, %d constraints",
+			got.NumGroups(), got.NumConstraints())
+	}
+}

@@ -1,0 +1,292 @@
+// Package baseline provides the comparison methods the paper situates
+// itself against (§IV): a classic single-target subgroup discovery
+// quality (the z-score / mean-shift test), binarized Weighted Relative
+// Accuracy, a dispersion-corrected quality in the spirit of Boley et
+// al. (ECML-PKDD 2017) together with their tight-optimistic-estimate
+// branch-and-bound search, and the random-subgroup SI baseline used in
+// the Fig. 3 noise experiment.
+//
+// All scorers implement search.Scorer, so they run on the same beam
+// engine as the SI measure.
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/background"
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/pattern"
+	"repro/internal/randx"
+	"repro/internal/si"
+	"repro/internal/stats"
+)
+
+// MeanShiftScorer implements the classic subgroup discovery quality for
+// a single numeric target: q(I) = √|I| · |µ_I − µ₀| / σ₀ (the z-score of
+// the subgroup mean under iid sampling). It is "objective": it never
+// adapts to what the user has already seen.
+type MeanShiftScorer struct {
+	y      []float64
+	mu0    float64
+	sigma0 float64
+}
+
+// NewMeanShiftScorer builds the scorer for target column j of the
+// dataset.
+func NewMeanShiftScorer(ds *dataset.Dataset, j int) *MeanShiftScorer {
+	col := ds.TargetColumn(j)
+	return &MeanShiftScorer{
+		y:      col,
+		mu0:    stats.Mean(col),
+		sigma0: math.Sqrt(stats.Variance(col)),
+	}
+}
+
+// Score implements search.Scorer.
+func (s *MeanShiftScorer) Score(ext *bitset.Set, numConds int) (float64, float64, mat.Vec, bool) {
+	cnt := ext.Count()
+	if cnt == 0 || s.sigma0 == 0 {
+		return 0, 0, nil, false
+	}
+	var sum float64
+	ext.ForEach(func(i int) { sum += s.y[i] })
+	mean := sum / float64(cnt)
+	q := math.Sqrt(float64(cnt)) * math.Abs(mean-s.mu0) / s.sigma0
+	return q, q, mat.Vec{mean}, true
+}
+
+// WRAccScorer binarizes the target at a threshold and scores subgroups
+// by Weighted Relative Accuracy: (|I|/n)·(p_I − p₀).
+type WRAccScorer struct {
+	pos []bool
+	p0  float64
+	n   int
+}
+
+// NewWRAccScorer builds the scorer for target column j, with rows
+// counted positive when y > threshold.
+func NewWRAccScorer(ds *dataset.Dataset, j int, threshold float64) *WRAccScorer {
+	col := ds.TargetColumn(j)
+	pos := make([]bool, len(col))
+	np := 0
+	for i, v := range col {
+		if v > threshold {
+			pos[i] = true
+			np++
+		}
+	}
+	return &WRAccScorer{pos: pos, p0: float64(np) / float64(len(col)), n: len(col)}
+}
+
+// Score implements search.Scorer.
+func (s *WRAccScorer) Score(ext *bitset.Set, numConds int) (float64, float64, mat.Vec, bool) {
+	cnt := ext.Count()
+	if cnt == 0 {
+		return 0, 0, nil, false
+	}
+	np := 0
+	ext.ForEach(func(i int) {
+		if s.pos[i] {
+			np++
+		}
+	})
+	pI := float64(np) / float64(cnt)
+	q := float64(cnt) / float64(s.n) * (pI - s.p0)
+	return q, q, mat.Vec{pI}, true
+}
+
+// DispersionCorrectedScorer scores subgroups by coverage times mean
+// shift, discounted by the subgroup's own dispersion — the shape of the
+// dispersion-corrected quality of Boley et al. (2017):
+// q(I) = (|I|/n)·max(0, µ_I − µ₀) / (1 + σ_I).
+type DispersionCorrectedScorer struct {
+	y   []float64
+	mu0 float64
+	n   int
+}
+
+// NewDispersionCorrectedScorer builds the scorer for target column j.
+func NewDispersionCorrectedScorer(ds *dataset.Dataset, j int) *DispersionCorrectedScorer {
+	col := ds.TargetColumn(j)
+	return &DispersionCorrectedScorer{y: col, mu0: stats.Mean(col), n: len(col)}
+}
+
+// Score implements search.Scorer.
+func (s *DispersionCorrectedScorer) Score(ext *bitset.Set, numConds int) (float64, float64, mat.Vec, bool) {
+	cnt := ext.Count()
+	if cnt == 0 {
+		return 0, 0, nil, false
+	}
+	var w stats.Welford
+	ext.ForEach(func(i int) { w.Add(s.y[i]) })
+	shift := w.Mean() - s.mu0
+	if shift < 0 {
+		shift = 0
+	}
+	q := float64(cnt) / float64(s.n) * shift / (1 + math.Sqrt(w.Var()))
+	return q, q, mat.Vec{w.Mean()}, true
+}
+
+// ImpactResult is the outcome of the branch-and-bound search.
+type ImpactResult struct {
+	Intention pattern.Intention
+	Extension *bitset.Set
+	Quality   float64
+	// Explored counts the nodes visited; Pruned the subtrees cut by the
+	// tight optimistic estimate.
+	Explored, Pruned int
+}
+
+// BranchAndBoundImpact finds the conjunction (up to maxDepth conditions)
+// maximizing the impact quality q(I) = (|I|/n)·(µ_I − µ₀) for target
+// column j, exactly, using the tight optimistic estimate of Boley et
+// al.: for any refinement J ⊆ I, q(J) ≤ max_k (k/n)·(top-k mean of y in
+// I − µ₀), evaluated by scanning I's target values in decreasing order.
+func BranchAndBoundImpact(ds *dataset.Dataset, j, maxDepth, numSplits, minSupport int) *ImpactResult {
+	if numSplits <= 0 {
+		numSplits = 4
+	}
+	if minSupport <= 0 {
+		minSupport = 2
+	}
+	y := ds.TargetColumn(j)
+	mu0 := stats.Mean(y)
+	n := ds.N()
+
+	conds := pattern.AllConditions(ds, numSplits)
+	condExts := make([]*bitset.Set, len(conds))
+	for i, c := range conds {
+		condExts[i] = c.Extension(ds)
+	}
+
+	res := &ImpactResult{Quality: math.Inf(-1)}
+	quality := func(ext *bitset.Set) (float64, int) {
+		cnt := ext.Count()
+		if cnt == 0 {
+			return math.Inf(-1), 0
+		}
+		var sum float64
+		ext.ForEach(func(i int) { sum += y[i] })
+		return float64(cnt) / float64(n) * (sum/float64(cnt) - mu0), cnt
+	}
+	// Tight optimistic estimate: best over prefixes of the sorted values.
+	optimistic := func(ext *bitset.Set) float64 {
+		vals := make([]float64, 0, ext.Count())
+		ext.ForEach(func(i int) { vals = append(vals, y[i]) })
+		sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+		best := math.Inf(-1)
+		var sum float64
+		for k, v := range vals {
+			sum += v
+			q := float64(k+1) / float64(n) * (sum/float64(k+1) - mu0)
+			if q > best {
+				best = q
+			}
+		}
+		return best
+	}
+
+	var recurse func(start int, intent pattern.Intention, ext *bitset.Set)
+	recurse = func(start int, intent pattern.Intention, ext *bitset.Set) {
+		for i := start; i < len(conds); i++ {
+			next := ext.And(condExts[i])
+			cnt := next.Count()
+			if cnt < minSupport {
+				continue
+			}
+			res.Explored++
+			in := intent.Extend(conds[i])
+			q, _ := quality(next)
+			if q > res.Quality {
+				res.Quality = q
+				res.Intention = in
+				res.Extension = next
+			}
+			if len(in) < maxDepth {
+				if optimistic(next) <= res.Quality {
+					res.Pruned++
+					continue
+				}
+				recurse(i+1, in, next)
+			}
+		}
+	}
+	recurse(0, nil, bitset.Full(n))
+	return res
+}
+
+// ExhaustiveImpact computes the same optimum without pruning, as the
+// test oracle for the branch-and-bound.
+func ExhaustiveImpact(ds *dataset.Dataset, j, maxDepth, numSplits, minSupport int) *ImpactResult {
+	if numSplits <= 0 {
+		numSplits = 4
+	}
+	if minSupport <= 0 {
+		minSupport = 2
+	}
+	y := ds.TargetColumn(j)
+	mu0 := stats.Mean(y)
+	n := ds.N()
+	conds := pattern.AllConditions(ds, numSplits)
+	condExts := make([]*bitset.Set, len(conds))
+	for i, c := range conds {
+		condExts[i] = c.Extension(ds)
+	}
+	res := &ImpactResult{Quality: math.Inf(-1)}
+	var recurse func(start int, intent pattern.Intention, ext *bitset.Set)
+	recurse = func(start int, intent pattern.Intention, ext *bitset.Set) {
+		for i := start; i < len(conds); i++ {
+			next := ext.And(condExts[i])
+			cnt := next.Count()
+			if cnt < minSupport {
+				continue
+			}
+			res.Explored++
+			in := intent.Extend(conds[i])
+			var sum float64
+			next.ForEach(func(r int) { sum += y[r] })
+			q := float64(cnt) / float64(n) * (sum/float64(cnt) - mu0)
+			if q > res.Quality {
+				res.Quality = q
+				res.Intention = in
+				res.Extension = next
+			}
+			if len(in) < maxDepth {
+				recurse(i+1, in, next)
+			}
+		}
+	}
+	recurse(0, nil, bitset.Full(n))
+	return res
+}
+
+// RandomSubgroupSI estimates the SI a "meaningless" subgroup of the
+// given size achieves under the model — the baseline curve of Fig. 3 —
+// by averaging the location SI of `repeats` uniformly drawn extensions.
+func RandomSubgroupSI(m *background.Model, y *mat.Dense, size, repeats int, p si.Params, seed int64) float64 {
+	src := randx.New(seed)
+	n := y.R
+	var total float64
+	cnt := 0
+	for r := 0; r < repeats; r++ {
+		perm := src.Perm(n)
+		ext := bitset.New(n)
+		for _, i := range perm[:size] {
+			ext.Add(i)
+		}
+		yhat := pattern.SubgroupMean(y, ext)
+		s, _, err := si.LocationSI(m, ext, yhat, 1, p)
+		if err != nil {
+			continue
+		}
+		total += s
+		cnt++
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return total / float64(cnt)
+}

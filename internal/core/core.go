@@ -1,0 +1,281 @@
+// Package core implements the paper's primary contribution end to end:
+// the iterative, subjectively interesting subgroup discovery loop of
+// Problem 1. A Miner owns a dataset and an evolving FORSIED background
+// model; each iteration finds the location pattern with maximal SI by
+// beam search, optionally finds the most informative spread direction
+// for it by gradient ascent on the unit sphere (the two-step procedure
+// of §II-D), and commits the shown patterns back into the background
+// model so subsequent iterations surface non-redundant patterns.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/background"
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/pattern"
+	"repro/internal/search"
+	"repro/internal/si"
+	"repro/internal/spreadopt"
+	"repro/internal/stats"
+)
+
+// Config bundles all mining parameters. Zero values are completed with
+// the paper's defaults.
+type Config struct {
+	// SI holds the description length coefficients (γ, η).
+	SI si.Params
+	// Search configures the beam (width 40, depth 4, top-150, 4 split
+	// points — the paper's Cortana settings).
+	Search search.Params
+	// Spread configures the direction optimizer.
+	Spread spreadopt.Params
+	// PriorMean/PriorCov override the initial background beliefs; when
+	// nil the empirical mean and covariance of the targets are used, as
+	// in all the paper's experiments.
+	PriorMean mat.Vec
+	PriorCov  *mat.Dense
+	// Ridge is added to the prior covariance diagonal if it is not
+	// positive definite (e.g. a constant target column).
+	Ridge float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SI == (si.Params{}) {
+		c.SI = si.Default()
+	}
+	if c.Ridge <= 0 {
+		c.Ridge = 1e-8
+	}
+	return c
+}
+
+// Miner is the iterative subgroup discovery engine.
+type Miner struct {
+	DS    *dataset.Dataset
+	Model *background.Model
+	Cfg   Config
+
+	iteration int
+}
+
+// ErrNoPattern is returned when the search yields no scoreable pattern.
+var ErrNoPattern = errors.New("core: no pattern found")
+
+// NewMiner builds a miner whose initial background distribution is the
+// MaxEnt model matching the prior mean and covariance (empirical values
+// of the full data unless overridden in cfg).
+func NewMiner(ds *dataset.Dataset, cfg Config) (*Miner, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	mu := cfg.PriorMean
+	if mu == nil {
+		mu = stats.MeanVec(ds.Y, nil)
+	}
+	cov := cfg.PriorCov
+	if cov == nil {
+		cov = stats.CovMat(ds.Y, nil)
+	}
+	if len(mu) != ds.Dy() || cov.R != ds.Dy() {
+		return nil, fmt.Errorf("core: prior dimensions do not match %d targets", ds.Dy())
+	}
+	model, err := background.New(ds.N(), mu, cov)
+	if err != nil {
+		// Degenerate empirical covariance: regularize with a ridge.
+		ridged := cov.Clone()
+		for i := 0; i < ridged.R; i++ {
+			ridged.Set(i, i, ridged.At(i, i)+cfg.Ridge)
+		}
+		model, err = background.New(ds.N(), mu, ridged)
+		if err != nil {
+			return nil, fmt.Errorf("core: prior covariance unusable: %w", err)
+		}
+	}
+	return &Miner{DS: ds, Model: model, Cfg: cfg}, nil
+}
+
+// Iteration returns the number of committed mining iterations.
+func (m *Miner) Iteration() int { return m.iteration }
+
+// Reset discards every committed pattern and restores the initial
+// belief state (the same prior the miner was constructed with), so an
+// interactive session can start over without rebuilding the miner.
+func (m *Miner) Reset() error {
+	fresh, err := NewMiner(m.DS, m.Cfg)
+	if err != nil {
+		return err
+	}
+	m.Model = fresh.Model
+	m.iteration = 0
+	return nil
+}
+
+// MineLocation runs the beam search under the current background model
+// and returns the best location pattern plus the full search log
+// (top-K patterns, the paper logs 150).
+func (m *Miner) MineLocation() (*pattern.Location, *search.Results, error) {
+	scorer, err := si.NewLocationScorer(m.Model, m.DS.Y, m.Cfg.SI)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := search.Beam(m.DS, scorer, m.Cfg.Search)
+	top := res.Top()
+	if top == nil {
+		return nil, nil, ErrNoPattern
+	}
+	return m.foundToLocation(*top), res, nil
+}
+
+func (m *Miner) foundToLocation(f search.Found) *pattern.Location {
+	return &pattern.Location{
+		Intention: f.Intention,
+		Extension: f.Extension,
+		Mean:      f.Mean,
+		IC:        f.IC,
+		DL:        m.Cfg.SI.DL(len(f.Intention), false),
+		SI:        f.SI,
+	}
+}
+
+// ScoreLocationIntention evaluates an arbitrary intention under the
+// *current* background model — used to track how the SI of earlier
+// patterns collapses across iterations (Table I).
+func (m *Miner) ScoreLocationIntention(in pattern.Intention) (*pattern.Location, error) {
+	ext := in.Extension(m.DS)
+	if ext.Count() == 0 {
+		return nil, background.ErrNoPoints
+	}
+	yhat := pattern.SubgroupMean(m.DS.Y, ext)
+	siVal, ic, err := si.LocationSI(m.Model, ext, yhat, len(in), m.Cfg.SI)
+	if err != nil {
+		return nil, err
+	}
+	return &pattern.Location{
+		Intention: in,
+		Extension: ext,
+		Mean:      yhat,
+		IC:        ic,
+		DL:        m.Cfg.SI.DL(len(in), false),
+		SI:        siVal,
+	}, nil
+}
+
+// CommitLocation assimilates a location pattern into the background
+// model: the user now knows the subgroup's mean.
+func (m *Miner) CommitLocation(loc *pattern.Location) error {
+	if err := m.Model.CommitLocation(loc.Extension, loc.Mean); err != nil {
+		return err
+	}
+	m.iteration++
+	return nil
+}
+
+// MineSpread finds the most interesting spread direction for a location
+// pattern whose location must already be committed (the paper's
+// two-step procedure: the spread of a subgroup is only interpretable
+// once its location is known).
+func (m *Miner) MineSpread(loc *pattern.Location) (*pattern.Spread, error) {
+	res, err := spreadopt.Optimize(m.Model, m.DS.Y, loc.Extension, loc.Mean,
+		len(loc.Intention), m.Cfg.SI, m.Cfg.Spread)
+	if err != nil {
+		return nil, err
+	}
+	return &pattern.Spread{
+		Intention: loc.Intention,
+		Extension: loc.Extension,
+		Center:    loc.Mean,
+		W:         res.W,
+		Variance:  res.Variance,
+		IC:        res.IC,
+		DL:        m.Cfg.SI.DL(len(loc.Intention), true),
+		SI:        res.SI,
+	}, nil
+}
+
+// CommitSpread assimilates a spread pattern into the background model.
+func (m *Miner) CommitSpread(sp *pattern.Spread) error {
+	return m.Model.CommitSpread(sp.Extension, sp.W, sp.Center, sp.Variance)
+}
+
+// IterationResult bundles the patterns of one full mining iteration.
+type IterationResult struct {
+	Location *pattern.Location
+	Spread   *pattern.Spread // nil when spread mining is skipped
+	Log      *search.Results
+}
+
+// Step runs one full iteration: mine the best location pattern, commit
+// it, and — when withSpread is set — mine and commit the best spread
+// pattern for the same subgroup.
+func (m *Miner) Step(withSpread bool) (*IterationResult, error) {
+	loc, log, err := m.MineLocation()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.CommitLocation(loc); err != nil {
+		return nil, err
+	}
+	out := &IterationResult{Location: loc, Log: log}
+	if withSpread {
+		sp, err := m.MineSpread(loc)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.CommitSpread(sp); err != nil {
+			return nil, err
+		}
+		out.Spread = sp
+	}
+	return out, nil
+}
+
+// AttrExplanation describes, for one target attribute, how the
+// subgroup's observed mean compares to the background expectation — the
+// per-attribute ranking of Fig. 5 and Fig. 8a.
+type AttrExplanation struct {
+	Target   string
+	Observed float64
+	Expected float64
+	// CI95Lo/Hi bound the background model's 95% interval for the
+	// subgroup mean of this attribute.
+	CI95Lo, CI95Hi float64
+	// IC is the one-dimensional information content of the attribute's
+	// observed mean, used as the ranking key.
+	IC float64
+}
+
+// ExplainLocation ranks the target attributes of a location pattern by
+// how surprising their subgroup mean is under the current background
+// model (most surprising first).
+func (m *Miner) ExplainLocation(loc *pattern.Location) ([]AttrExplanation, error) {
+	muI, covI, err := m.Model.SubgroupMeanMarginal(loc.Extension)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AttrExplanation, m.DS.Dy())
+	for j := 0; j < m.DS.Dy(); j++ {
+		sd := math.Sqrt(covI.At(j, j))
+		obs := loc.Mean[j]
+		var ic float64
+		if sd > 0 {
+			z := (obs - muI[j]) / sd
+			ic = 0.5*math.Log(2*math.Pi) + math.Log(sd) + z*z/2
+		}
+		out[j] = AttrExplanation{
+			Target:   m.DS.TargetNames[j],
+			Observed: obs,
+			Expected: muI[j],
+			CI95Lo:   muI[j] - 1.959963984540054*sd,
+			CI95Hi:   muI[j] + 1.959963984540054*sd,
+			IC:       ic,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IC > out[j].IC })
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/mat"
+	"repro/internal/pattern"
+	"repro/internal/search"
+)
+
+func TestNewMinerRejectsInvalidDataset(t *testing.T) {
+	ds := gen.Synthetic620(1).DS
+	ds.Descriptors[0].Values = ds.Descriptors[0].Values[:5] // corrupt
+	if _, err := NewMiner(ds, Config{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestNewMinerRejectsPriorDimensionMismatch(t *testing.T) {
+	ds := gen.Synthetic620(2).DS
+	if _, err := NewMiner(ds, Config{PriorMean: mat.Vec{0}, PriorCov: mat.Eye(1)}); err == nil {
+		t.Fatal("expected prior dimension error")
+	}
+}
+
+func TestScoreLocationIntentionEmptyExtension(t *testing.T) {
+	ds := gen.Synthetic620(3).DS
+	m, err := NewMiner(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A contradiction: a3 = '0' AND a3 = '1'.
+	in := pattern.Intention{
+		{Attr: 0, Op: pattern.EQ, Level: 0},
+		{Attr: 0, Op: pattern.EQ, Level: 1},
+	}
+	if _, err := m.ScoreLocationIntention(in); err == nil {
+		t.Fatal("expected error for empty extension")
+	}
+}
+
+func TestMineLocationNoPatterns(t *testing.T) {
+	// MinSupport larger than any subgroup blocks every candidate.
+	ds := gen.Synthetic620(4).DS
+	m, err := NewMiner(ds, Config{Search: search.Params{MinSupport: 10000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.MineLocation(); err != ErrNoPattern {
+		t.Fatalf("err = %v, want ErrNoPattern", err)
+	}
+}
+
+func TestStepWithoutSpread(t *testing.T) {
+	ds := gen.Synthetic620(5).DS
+	m, err := NewMiner(ds, Config{Search: search.Params{MaxDepth: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Step(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread != nil {
+		t.Fatal("spread mined despite withSpread=false")
+	}
+	if m.Iteration() != 1 {
+		t.Fatalf("Iteration = %d", m.Iteration())
+	}
+	if res.Log == nil || len(res.Log.Patterns) == 0 {
+		t.Fatal("missing search log")
+	}
+}
+
+func TestExplainLocationConsistentWithModel(t *testing.T) {
+	ds := gen.SocioEconLike(6).DS
+	m, err := NewMiner(ds, Config{Search: search.Params{MaxDepth: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expl, err := m.ExplainLocation(loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected values must equal the model's marginal means.
+	muI, covI, err := m.Model.SubgroupMeanMarginal(loc.Extension)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range expl {
+		j := ds.TargetIndex(e.Target)
+		if j < 0 {
+			t.Fatalf("unknown target %q", e.Target)
+		}
+		if math.Abs(e.Expected-muI[j]) > 1e-12 {
+			t.Fatalf("%s: expected %v vs marginal %v", e.Target, e.Expected, muI[j])
+		}
+		sd := math.Sqrt(covI.At(j, j))
+		if math.Abs((e.CI95Hi-e.CI95Lo)/2-1.959963984540054*sd) > 1e-9 {
+			t.Fatalf("%s: CI width inconsistent", e.Target)
+		}
+	}
+}
+
+func TestSingleTargetDatasetFullFlow(t *testing.T) {
+	cr := gen.CrimeLike(7)
+	m, err := NewMiner(cr.DS, Config{
+		Search: search.Params{MaxDepth: 1, BeamWidth: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Step(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spread.W) != 1 || math.Abs(res.Spread.W[0]) != 1 {
+		t.Fatalf("1-D spread direction = %v", res.Spread.W)
+	}
+}
+
+func TestOrdinalDescriptorsMinable(t *testing.T) {
+	wa := gen.WaterQualityLike(8)
+	m, err := NewMiner(wa.DS, Config{
+		Search: search.Params{MaxDepth: 1, BeamWidth: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The winning condition must be on an ordinal bioindicator.
+	if wa.DS.Descriptors[loc.Intention[0].Attr].Kind != dataset.Ordinal {
+		t.Fatalf("expected ordinal condition, got %v", loc.Intention.Format(wa.DS))
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/mat"
+	"repro/internal/pattern"
+	"repro/internal/search"
+	"repro/internal/si"
+)
+
+func synMiner(t *testing.T) (*Miner, *gen.Synthetic) {
+	t.Helper()
+	syn := gen.Synthetic620(gen.SeedSynthetic)
+	m, err := NewMiner(syn.DS, Config{
+		SI:     si.Params{Gamma: 0.5, Eta: 1}, // the Table I setting
+		Search: search.Params{MaxDepth: 3},
+	})
+	if err != nil {
+		t.Fatalf("NewMiner: %v", err)
+	}
+	return m, syn
+}
+
+// clusterOfExtension returns which embedded cluster (if any) the
+// extension matches exactly.
+func clusterOfExtension(syn *gen.Synthetic, ext interface{ Contains(int) bool }, size int) int {
+	for c, idx := range syn.Clusters {
+		if len(idx) != size {
+			continue
+		}
+		all := true
+		for _, i := range idx {
+			if !ext.Contains(i) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return c
+		}
+	}
+	return -1
+}
+
+func TestIterativeMiningRecoversEmbeddedClusters(t *testing.T) {
+	m, syn := synMiner(t)
+	found := map[int]bool{}
+	for iter := 0; iter < 3; iter++ {
+		res, err := m.Step(true)
+		if err != nil {
+			t.Fatalf("Step %d: %v", iter, err)
+		}
+		loc := res.Location
+		if loc.Size() != 40 {
+			t.Fatalf("iteration %d: top pattern size %d, want 40 (%s)",
+				iter, loc.Size(), loc.Intention.Format(m.DS))
+		}
+		c := clusterOfExtension(syn, loc.Extension, loc.Size())
+		if c < 0 {
+			t.Fatalf("iteration %d: top pattern is not an embedded cluster: %s",
+				iter, loc.Intention.Format(m.DS))
+		}
+		if found[c] {
+			t.Fatalf("iteration %d: cluster %d found twice — background update failed", iter, c)
+		}
+		found[c] = true
+		// The spread direction must recover one of the planted principal
+		// axes (main or cross — they are orthogonal). Under the SI
+		// measure the deflated cross direction is the more surprising
+		// one here, since the χ² density collapses much faster in its
+		// left tail than in its right.
+		sp := res.Spread
+		if sp == nil {
+			t.Fatal("no spread pattern")
+		}
+		main := syn.Directions[c]
+		cross := mat.Vec{-main[1], main[0]}
+		dot := math.Max(math.Abs(sp.W.Dot(main)), math.Abs(sp.W.Dot(cross)))
+		if dot < 0.9 {
+			t.Errorf("iteration %d: spread direction overlaps no planted axis (%v)", iter, dot)
+		}
+	}
+	if len(found) != 3 {
+		t.Fatalf("recovered %d distinct clusters, want 3", len(found))
+	}
+	if m.Iteration() != 3 {
+		t.Fatalf("Iteration() = %d", m.Iteration())
+	}
+}
+
+func TestSICollapsesAfterCommit(t *testing.T) {
+	m, _ := synMiner(t)
+	loc, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := loc.SI
+	if before < 10 {
+		t.Fatalf("top SI suspiciously low: %v", before)
+	}
+	if err := m.CommitLocation(loc); err != nil {
+		t.Fatal(err)
+	}
+	re, err := m.ScoreLocationIntention(loc.Intention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.SI > 1 {
+		t.Fatalf("SI after commit = %v, want collapse toward <=~0", re.SI)
+	}
+	if re.SI >= before {
+		t.Fatalf("SI did not drop: %v -> %v", before, re.SI)
+	}
+}
+
+func TestIntentionEquivalentPatternsShareIC(t *testing.T) {
+	// Table I property: a4='0' ∧ a3='1' has the same extension as
+	// a3='1', hence the same IC and a lower SI (higher DL).
+	m, _ := synMiner(t)
+	a3 := pattern.Intention{{Attr: 0, Op: pattern.EQ, Level: 1}}
+	a3a4 := pattern.Intention{
+		{Attr: 0, Op: pattern.EQ, Level: 1},
+		{Attr: 1, Op: pattern.EQ, Level: 0},
+	}
+	p1, err := m.ScoreLocationIntention(a3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.ScoreLocationIntention(a3a4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Extension.Equal(p2.Extension) {
+		t.Fatal("test premise broken: extensions differ")
+	}
+	if math.Abs(p1.IC-p2.IC) > 1e-9 {
+		t.Fatalf("equal extensions, different IC: %v vs %v", p1.IC, p2.IC)
+	}
+	if p2.SI >= p1.SI {
+		t.Fatalf("longer description must lower SI: %v vs %v", p2.SI, p1.SI)
+	}
+	// And the exact DL ratio must hold (γ=0.5, η=1): 1.5 vs 2.0.
+	if math.Abs(p1.SI*1.5-p2.SI*2.0) > 1e-9 {
+		t.Fatalf("SI·DL inconsistent: %v vs %v", p1.SI*1.5, p2.SI*2.0)
+	}
+}
+
+func TestExplainLocationRanksByIC(t *testing.T) {
+	m, _ := synMiner(t)
+	loc, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := m.ExplainLocation(loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex) != 2 {
+		t.Fatalf("explanations = %d", len(ex))
+	}
+	if ex[0].IC < ex[1].IC {
+		t.Fatal("explanations not sorted by IC")
+	}
+	for _, e := range ex {
+		if e.CI95Lo >= e.CI95Hi {
+			t.Fatalf("degenerate CI for %s", e.Target)
+		}
+		if e.Target != "attr1" && e.Target != "attr2" {
+			t.Fatalf("unknown target %q", e.Target)
+		}
+	}
+}
+
+func TestNewMinerEmpiricalPrior(t *testing.T) {
+	syn := gen.Synthetic620(1)
+	m, err := NewMiner(syn.DS, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prior mean must equal the empirical mean: full data scores IC via a
+	// zero Mahalanobis term.
+	full := pattern.Intention(nil).Extension(syn.DS)
+	muI, _, err := m.Model.SubgroupMeanMarginal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := pattern.SubgroupMean(syn.DS.Y, full)
+	if muI.Sub(emp).Norm() > 1e-9 {
+		t.Fatalf("prior mean %v != empirical %v", muI, emp)
+	}
+}
+
+func TestNewMinerExplicitPrior(t *testing.T) {
+	syn := gen.Synthetic620(2)
+	mu := mat.Vec{5, 5}
+	m, err := NewMiner(syn.DS, Config{PriorMean: mu, PriorCov: mat.Eye(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a far-off prior the full dataset itself is very surprising.
+	loc, err := m.ScoreLocationIntention(pattern.Intention{{Attr: 3, Op: pattern.EQ, Level: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.SI < 100 {
+		t.Fatalf("SI vs far prior = %v, expected huge", loc.SI)
+	}
+}
+
+func TestNewMinerRidgeRescuesDegenerateCovariance(t *testing.T) {
+	// Two identical target columns → singular empirical covariance.
+	n := 50
+	y := mat.NewDense(n, 2)
+	for i := 0; i < n; i++ {
+		v := float64(i%7) - 3
+		y.Set(i, 0, v)
+		y.Set(i, 1, v)
+	}
+	flag := make([]float64, n)
+	for i := 0; i < 10; i++ {
+		flag[i] = 1
+	}
+	ds := &dataset.Dataset{
+		Descriptors: []dataset.Column{
+			{Name: "f", Kind: dataset.Binary, Values: flag, Levels: []string{"0", "1"}},
+		},
+		TargetNames: []string{"y1", "y2"},
+		Y:           y,
+	}
+	if _, err := NewMiner(ds, Config{Ridge: 1e-6}); err != nil {
+		t.Fatalf("ridge fallback failed: %v", err)
+	}
+}
+
+func TestMineSpreadOnCommittedLocation(t *testing.T) {
+	m, syn := synMiner(t)
+	loc, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitLocation(loc); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := m.MineSpread(loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.W.Norm()-1) > 1e-9 {
+		t.Fatalf("spread direction not unit: %v", sp.W.Norm())
+	}
+	if sp.Variance <= 0 {
+		t.Fatalf("spread variance = %v", sp.Variance)
+	}
+	if sp.DL != m.Cfg.SI.DL(len(loc.Intention), true) {
+		t.Fatal("spread DL wrong")
+	}
+	// Committing the spread keeps the model consistent.
+	if err := m.CommitSpread(sp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Model.ExpectedSpread(sp.Extension, sp.W, sp.Center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-sp.Variance) > 1e-7 {
+		t.Fatalf("model E[g]=%v, committed %v", got, sp.Variance)
+	}
+	_ = syn
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/search"
+)
+
+func TestResetRestoresInitialBeliefState(t *testing.T) {
+	ds := gen.Synthetic620(gen.SeedSynthetic)
+	m, err := NewMiner(ds.DS, Config{Search: search.Params{MaxDepth: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitLocation(first); err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Intention.Key() == first.Intention.Key() {
+		t.Fatal("premise broken: commit should change the top pattern")
+	}
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Iteration() != 0 {
+		t.Fatalf("Iteration after reset = %d", m.Iteration())
+	}
+	again, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Intention.Key() != first.Intention.Key() || again.SI != first.SI {
+		t.Fatalf("reset did not restore the initial state: %v vs %v",
+			again.Intention.Format(ds.DS), first.Intention.Format(ds.DS))
+	}
+}

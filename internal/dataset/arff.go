@@ -1,0 +1,194 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/mat"
+)
+
+// ReadARFF parses a Weka/Cortana-style ARFF file. Attributes declared
+// `numeric`/`real`/`integer` become Numeric descriptors, nominal
+// attributes (`{a,b,...}`) become Categorical (Binary when they have
+// exactly two levels). The attributes named in targets become the
+// real-valued target columns (they must be numeric); everything else is
+// a descriptor. The original paper's tooling (Cortana) consumes this
+// format, so the reader lets its datasets be used directly.
+//
+// Supported subset: @relation, @attribute, @data with comma-separated
+// dense rows, '%' comments, case-insensitive keywords, quoted nominal
+// values. Sparse rows and date/string attributes are not supported.
+func ReadARFF(r io.Reader, targets []string) (*Dataset, error) {
+	wantTarget := map[string]bool{}
+	for _, t := range targets {
+		wantTarget[strings.ToLower(t)] = true
+	}
+	type attrDecl struct {
+		name    string
+		nominal []string // nil = numeric
+	}
+	var (
+		decls    []attrDecl
+		relation string
+		rows     [][]string
+		inData   bool
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if !inData {
+			lower := strings.ToLower(line)
+			switch {
+			case strings.HasPrefix(lower, "@relation"):
+				relation = strings.Trim(strings.TrimSpace(line[len("@relation"):]), `"'`)
+			case strings.HasPrefix(lower, "@attribute"):
+				rest := strings.TrimSpace(line[len("@attribute"):])
+				name, typ, err := splitAttrDecl(rest)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: arff line %d: %w", lineNo, err)
+				}
+				d := attrDecl{name: name}
+				tl := strings.ToLower(typ)
+				switch {
+				case tl == "numeric" || tl == "real" || tl == "integer":
+					// numeric
+				case strings.HasPrefix(typ, "{") && strings.HasSuffix(typ, "}"):
+					inner := typ[1 : len(typ)-1]
+					for _, lv := range strings.Split(inner, ",") {
+						d.nominal = append(d.nominal, strings.Trim(strings.TrimSpace(lv), `"'`))
+					}
+					if len(d.nominal) == 0 {
+						return nil, fmt.Errorf("dataset: arff line %d: empty nominal set", lineNo)
+					}
+				default:
+					return nil, fmt.Errorf("dataset: arff line %d: unsupported attribute type %q", lineNo, typ)
+				}
+				decls = append(decls, d)
+			case strings.HasPrefix(lower, "@data"):
+				inData = true
+			default:
+				return nil, fmt.Errorf("dataset: arff line %d: unexpected header line %q", lineNo, line)
+			}
+			continue
+		}
+		cells := strings.Split(line, ",")
+		if len(cells) != len(decls) {
+			return nil, fmt.Errorf("dataset: arff line %d: %d cells for %d attributes",
+				lineNo, len(cells), len(decls))
+		}
+		for i := range cells {
+			cells[i] = strings.Trim(strings.TrimSpace(cells[i]), `"'`)
+		}
+		rows = append(rows, cells)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: arff: %w", err)
+	}
+	if len(decls) == 0 {
+		return nil, fmt.Errorf("dataset: arff: no @attribute declarations")
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: arff: no data rows")
+	}
+
+	ds := &Dataset{Name: relation}
+	var targetCols []int
+	for ai, d := range decls {
+		if wantTarget[strings.ToLower(d.name)] {
+			if d.nominal != nil {
+				return nil, fmt.Errorf("dataset: arff: target %q must be numeric", d.name)
+			}
+			targetCols = append(targetCols, ai)
+			ds.TargetNames = append(ds.TargetNames, d.name)
+			continue
+		}
+		col := Column{Name: d.name, Values: make([]float64, len(rows))}
+		if d.nominal == nil {
+			col.Kind = Numeric
+			for ri, row := range rows {
+				v, err := strconv.ParseFloat(row[ai], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: arff: row %d attribute %q: %w", ri+1, d.name, err)
+				}
+				col.Values[ri] = v
+			}
+		} else {
+			col.Kind = Categorical
+			if len(d.nominal) == 2 {
+				col.Kind = Binary
+			}
+			col.Levels = d.nominal
+			idx := map[string]int{}
+			for li, lv := range d.nominal {
+				idx[lv] = li
+			}
+			for ri, row := range rows {
+				li, ok := idx[row[ai]]
+				if !ok {
+					return nil, fmt.Errorf("dataset: arff: row %d attribute %q: undeclared level %q",
+						ri+1, d.name, row[ai])
+				}
+				col.Values[ri] = float64(li)
+			}
+		}
+		ds.Descriptors = append(ds.Descriptors, col)
+	}
+	if len(targetCols) != len(targets) {
+		return nil, fmt.Errorf("dataset: arff: found %d of %d requested targets",
+			len(targetCols), len(targets))
+	}
+
+	ds.Y = mat.NewDense(len(rows), len(targetCols))
+	for ri, row := range rows {
+		for j, ai := range targetCols {
+			v, err := strconv.ParseFloat(row[ai], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: arff: row %d target %q: %w",
+					ri+1, decls[ai].name, err)
+			}
+			ds.Y.Set(ri, j, v)
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// splitAttrDecl splits "@attribute" remainder into name and type,
+// honoring quoted names.
+func splitAttrDecl(rest string) (name, typ string, err error) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", "", fmt.Errorf("empty attribute declaration")
+	}
+	if rest[0] == '\'' || rest[0] == '"' {
+		q := rest[0]
+		end := strings.IndexByte(rest[1:], q)
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated quoted attribute name")
+		}
+		name = rest[1 : 1+end]
+		typ = strings.TrimSpace(rest[2+end:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", "", fmt.Errorf("attribute declaration %q has no type", rest)
+		}
+		name = rest[:sp]
+		typ = strings.TrimSpace(rest[sp+1:])
+	}
+	if name == "" || typ == "" {
+		return "", "", fmt.Errorf("malformed attribute declaration %q", rest)
+	}
+	return name, typ, nil
+}

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleARFF = `% A tiny Cortana-style file
+@relation 'toy data'
+
+@attribute age numeric
+@attribute 'region' {north, south, "east"}
+@attribute urban {no, yes}
+@attribute crime real
+@attribute income REAL
+
+@data
+10, north, no,  0.1, 100
+20, south, yes, 0.2, 200
+% a comment inside data
+30, east,  no,  0.3, 300
+`
+
+func TestReadARFF(t *testing.T) {
+	ds, err := ReadARFF(strings.NewReader(sampleARFF), []string{"crime", "income"})
+	if err != nil {
+		t.Fatalf("ReadARFF: %v", err)
+	}
+	if ds.Name != "toy data" {
+		t.Fatalf("relation = %q", ds.Name)
+	}
+	if ds.N() != 3 || ds.Dx() != 3 || ds.Dy() != 2 {
+		t.Fatalf("dims = %d/%d/%d", ds.N(), ds.Dx(), ds.Dy())
+	}
+	age := ds.Descriptor("age")
+	if age == nil || age.Kind != Numeric || age.Values[2] != 30 {
+		t.Fatalf("age column wrong: %+v", age)
+	}
+	region := ds.Descriptor("region")
+	if region == nil || region.Kind != Categorical || len(region.Levels) != 3 {
+		t.Fatalf("region column wrong: %+v", region)
+	}
+	if region.FormatValue(2) != "east" {
+		t.Fatalf("region row 2 = %q", region.FormatValue(2))
+	}
+	urban := ds.Descriptor("urban")
+	if urban == nil || urban.Kind != Binary {
+		t.Fatalf("urban should be binary: %+v", urban)
+	}
+	if ds.Y.At(1, 0) != 0.2 || ds.Y.At(2, 1) != 300 {
+		t.Fatalf("targets wrong: %v", ds.Y.Data)
+	}
+}
+
+func TestReadARFFErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		arff    string
+		targets []string
+	}{
+		{"no attributes", "@relation x\n@data\n1\n", []string{"y"}},
+		{"no data", "@relation x\n@attribute a numeric\n@data\n", []string{"a"}},
+		{"missing target", sampleARFF, []string{"nope"}},
+		{"nominal target", sampleARFF, []string{"region"}},
+		{"bad type", "@attribute a date\n@data\n1\n", nil},
+		{"cell count", "@attribute a numeric\n@attribute b numeric\n@data\n1\n", []string{"a"}},
+		{"undeclared level", "@attribute a {x,y}\n@attribute t numeric\n@data\nz, 1\n", []string{"t"}},
+		{"bad numeric", "@attribute a numeric\n@attribute t numeric\n@data\nfoo, 1\n", []string{"t"}},
+		{"unterminated quote", "@attribute 'a numeric\n@data\n1\n", nil},
+		{"header junk", "@wat\n", nil},
+	}
+	for _, c := range cases {
+		if _, err := ReadARFF(strings.NewReader(c.arff), c.targets); err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadARFFRoundTripThroughMiner(t *testing.T) {
+	// An ARFF dataset must validate and be directly minable.
+	ds, err := ReadARFF(strings.NewReader(sampleARFF), []string{"crime"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dy() != 1 || ds.Dx() != 4 {
+		t.Fatalf("dims = %d/%d", ds.Dy(), ds.Dx())
+	}
+	// income stayed a descriptor this time.
+	if ds.Descriptor("income") == nil {
+		t.Fatal("income should be a descriptor")
+	}
+}

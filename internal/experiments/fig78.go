@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/search"
+	"repro/internal/spreadopt"
+)
+
+// SocioIteration is one iteration of the Figs. 7–8 experiment on the
+// socio-economics replica: a location pattern plus its 2-sparse spread
+// pattern.
+type SocioIteration struct {
+	Intention string
+	Size      int
+	SI        float64
+	// EastShare is the fraction of covered districts in the eastern
+	// regime (the paper's top pattern covers mainly East Germany).
+	EastShare float64
+	// Explanations rank the five vote-share targets (Fig. 8a).
+	Explanations []core.AttrExplanation
+	// Spread pattern (Fig. 8b–c): the 2-sparse direction, the two active
+	// target names, the observed variance along w and the variance the
+	// background model expected before the commit.
+	W                []float64
+	ActiveTargets    []string
+	SpreadVariance   float64
+	ExpectedVariance float64
+	SpreadSI         float64
+}
+
+// Fig78SocioEconomics runs three two-step iterations on the
+// socio-economics replica with the paper's 2-sparsity constraint on w.
+func Fig78SocioEconomics(seed int64) ([]SocioIteration, error) {
+	so := gen.SocioEconLike(seed)
+	m, err := core.NewMiner(so.DS, core.Config{
+		Search: search.Params{MaxDepth: 2},
+		Spread: spreadopt.Params{PairSparse: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []SocioIteration
+	for iter := 0; iter < 3; iter++ {
+		loc, _, err := m.MineLocation()
+		if err != nil {
+			return nil, err
+		}
+		it := SocioIteration{
+			Intention: loc.Intention.Format(so.DS),
+			Size:      loc.Size(),
+			SI:        loc.SI,
+		}
+		east := 0
+		loc.Extension.ForEach(func(i int) {
+			if so.Regime[i] == gen.RegimeEast {
+				east++
+			}
+		})
+		it.EastShare = float64(east) / float64(loc.Size())
+		expl, err := m.ExplainLocation(loc)
+		if err != nil {
+			return nil, err
+		}
+		it.Explanations = expl
+
+		if err := m.CommitLocation(loc); err != nil {
+			return nil, err
+		}
+		// Expected variance along w is computed after the location commit
+		// but before the spread commit.
+		sp, err := m.MineSpread(loc)
+		if err != nil {
+			return nil, err
+		}
+		it.W = sp.W
+		for j, w := range sp.W {
+			if w != 0 {
+				it.ActiveTargets = append(it.ActiveTargets, so.DS.TargetNames[j])
+			}
+		}
+		exp, err := m.Model.ExpectedSpread(sp.Extension, sp.W, sp.Center)
+		if err != nil {
+			return nil, err
+		}
+		it.SpreadVariance = sp.Variance
+		it.ExpectedVariance = exp
+		it.SpreadSI = sp.SI
+		if err := m.CommitSpread(sp); err != nil {
+			return nil, err
+		}
+		out = append(out, it)
+	}
+	return out, nil
+}
+
+// RenderFig78 formats the socio-economics iterations.
+func RenderFig78(iters []SocioIteration) string {
+	var b strings.Builder
+	b.WriteString("Figs. 7–8 — socio-economics replica, location + 2-sparse spread per iteration\n")
+	for i, it := range iters {
+		fmt.Fprintf(&b, "\niteration %d: %s  (size=%d, SI=%.4g, east share %.0f%%)\n",
+			i+1, it.Intention, it.Size, it.SI, 100*it.EastShare)
+		t := &table{header: []string{"party", "observed", "expected", "95% CI"}}
+		for _, e := range it.Explanations {
+			t.add(e.Target, f2(e.Observed), f2(e.Expected),
+				fmt.Sprintf("[%.2f, %.2f]", e.CI95Lo, e.CI95Hi))
+		}
+		b.WriteString(t.String())
+		fmt.Fprintf(&b, "spread: w over (%s) = %s, observed var %.3f vs expected %.3f (SI=%.4g)\n",
+			strings.Join(it.ActiveTargets, ", "), fmtVec(it.W), it.SpreadVariance,
+			it.ExpectedVariance, it.SpreadSI)
+	}
+	return b.String()
+}
+
+func fmtVec(w []float64) string {
+	parts := make([]string, 0, len(w))
+	for _, v := range w {
+		parts = append(parts, fmt.Sprintf("%.4f", v))
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}

@@ -1,0 +1,316 @@
+package gen
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestSynthetic620Shape(t *testing.T) {
+	syn := Synthetic620(SeedSynthetic)
+	ds := syn.DS
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ds.N() != 620 || ds.Dy() != 2 || ds.Dx() != 5 {
+		t.Fatalf("dims = %d/%d/%d", ds.N(), ds.Dy(), ds.Dx())
+	}
+	if len(syn.Clusters) != 3 {
+		t.Fatalf("clusters = %d", len(syn.Clusters))
+	}
+	for c, idx := range syn.Clusters {
+		if len(idx) != 40 {
+			t.Fatalf("cluster %d size = %d", c, len(idx))
+		}
+		// The label column must mark exactly the cluster rows.
+		col := ds.Descriptors[c]
+		for i := 0; i < ds.N(); i++ {
+			inCluster := false
+			for _, j := range idx {
+				if j == i {
+					inCluster = true
+					break
+				}
+			}
+			if (col.Values[i] == 1) != inCluster {
+				t.Fatalf("cluster %d label wrong at row %d", c, i)
+			}
+		}
+		// Cluster centers are at distance ≈2 from the origin.
+		var cx, cy float64
+		for _, j := range idx {
+			cx += ds.Y.At(j, 0)
+			cy += ds.Y.At(j, 1)
+		}
+		cx /= 40
+		cy /= 40
+		dist := math.Hypot(cx, cy)
+		if math.Abs(dist-2) > 0.35 {
+			t.Fatalf("cluster %d center distance = %v", c, dist)
+		}
+	}
+}
+
+func TestSynthetic620Deterministic(t *testing.T) {
+	a := Synthetic620(7)
+	b := Synthetic620(7)
+	for i, v := range a.DS.Y.Data {
+		if b.DS.Y.Data[i] != v {
+			t.Fatal("same seed must give identical data")
+		}
+	}
+}
+
+func TestCorruptDescriptors(t *testing.T) {
+	syn := Synthetic620(1)
+	noisy := CorruptDescriptors(syn.DS, 0.5, 2)
+	if noisy.Y != syn.DS.Y {
+		t.Fatal("targets must be shared, not copied")
+	}
+	flipped := 0
+	total := 0
+	for ci := range syn.DS.Descriptors {
+		for i, v := range syn.DS.Descriptors[ci].Values {
+			total++
+			if noisy.Descriptors[ci].Values[i] != v {
+				flipped++
+			}
+		}
+	}
+	rate := float64(flipped) / float64(total)
+	if math.Abs(rate-0.5) > 0.05 {
+		t.Fatalf("flip rate = %v, want ≈0.5", rate)
+	}
+	// p=0 must be a no-op.
+	clean := CorruptDescriptors(syn.DS, 0, 3)
+	for ci := range syn.DS.Descriptors {
+		for i, v := range syn.DS.Descriptors[ci].Values {
+			if clean.Descriptors[ci].Values[i] != v {
+				t.Fatal("p=0 flipped a bit")
+			}
+		}
+	}
+}
+
+func TestCrimeLikeStructure(t *testing.T) {
+	cr := CrimeLike(SeedCrime)
+	ds := cr.DS
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ds.N() != 1994 || ds.Dx() != 122 || ds.Dy() != 1 {
+		t.Fatalf("dims = %d/%d/%d", ds.N(), ds.Dx(), ds.Dy())
+	}
+	// All descriptors and the target live in [0,1].
+	for _, c := range ds.Descriptors {
+		for _, v := range c.Values {
+			if v < 0 || v > 1 {
+				t.Fatalf("descriptor %q value %v outside [0,1]", c.Name, v)
+			}
+		}
+	}
+	// The planted subgroup: driver ≥ 0.39 covers ≈20.5% with elevated
+	// crime (≈0.53 vs ≈0.24 overall).
+	driver := ds.Descriptors[cr.DriverAttr]
+	var inSum, outSum float64
+	var inN, outN int
+	for i := 0; i < ds.N(); i++ {
+		if driver.Values[i] >= cr.Threshold {
+			inSum += ds.Y.At(i, 0)
+			inN++
+		} else {
+			outSum += ds.Y.At(i, 0)
+			outN++
+		}
+	}
+	cover := float64(inN) / float64(ds.N())
+	if math.Abs(cover-0.205) > 0.02 {
+		t.Fatalf("planted coverage = %v, want ≈0.205", cover)
+	}
+	inMean := inSum / float64(inN)
+	overall := (inSum + outSum) / float64(ds.N())
+	if inMean < overall+0.2 {
+		t.Fatalf("subgroup mean %v not well above overall %v", inMean, overall)
+	}
+}
+
+func TestMammalsLikeStructure(t *testing.T) {
+	ma := MammalsLike(SeedMammals)
+	ds := ma.DS
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ds.N() != 2220 || ds.Dx() != 67 || ds.Dy() != 124 {
+		t.Fatalf("dims = %d/%d/%d", ds.N(), ds.Dx(), ds.Dy())
+	}
+	// Targets are binary presence/absence.
+	for _, v := range ds.Y.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("presence value %v not binary", v)
+		}
+	}
+	// Northern species must prefer cold cells: presence rate in the
+	// coldest third should exceed the warmest third.
+	temp := ds.Descriptor("mean_temp_mar")
+	if temp == nil {
+		t.Fatal("missing mean_temp_mar")
+	}
+	lo := stats.Percentile(temp.Values, 33)
+	hi := stats.Percentile(temp.Values, 67)
+	for s := 0; s < 5; s++ { // a few northern species (archetype 0 = s%5==0)
+		sp := s * 5
+		if ma.Archetype[sp] != ArchNorthern {
+			t.Fatalf("species %d archetype = %d", sp, ma.Archetype[sp])
+		}
+		var coldPresent, coldN, warmPresent, warmN float64
+		for i := 0; i < ds.N(); i++ {
+			switch {
+			case temp.Values[i] <= lo:
+				coldPresent += ds.Y.At(i, sp)
+				coldN++
+			case temp.Values[i] >= hi:
+				warmPresent += ds.Y.At(i, sp)
+				warmN++
+			}
+		}
+		if coldPresent/coldN <= warmPresent/warmN {
+			t.Fatalf("northern species %d not cold-preferring: %v vs %v",
+				sp, coldPresent/coldN, warmPresent/warmN)
+		}
+	}
+}
+
+func TestSocioEconLikeStructure(t *testing.T) {
+	so := SocioEconLike(SeedSocio)
+	ds := so.DS
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ds.N() != 412 || ds.Dx() != 13 || ds.Dy() != 5 {
+		t.Fatalf("dims = %d/%d/%d", ds.N(), ds.Dx(), ds.Dy())
+	}
+	leftIdx := ds.TargetIndex("LEFT_2009")
+	greenIdx := ds.TargetIndex("GREEN_2009")
+	children := ds.Descriptor("children_pop")
+	var eastLeft, westLeft, cityGreen, otherGreen stats.Welford
+	var eastChildren, westChildren stats.Welford
+	for i := 0; i < ds.N(); i++ {
+		switch so.Regime[i] {
+		case RegimeEast:
+			eastLeft.Add(ds.Y.At(i, leftIdx))
+			eastChildren.Add(children.Values[i])
+			otherGreen.Add(ds.Y.At(i, greenIdx))
+		case RegimeCity:
+			cityGreen.Add(ds.Y.At(i, greenIdx))
+			westLeft.Add(ds.Y.At(i, leftIdx))
+		default:
+			westLeft.Add(ds.Y.At(i, leftIdx))
+			westChildren.Add(children.Values[i])
+			otherGreen.Add(ds.Y.At(i, greenIdx))
+		}
+	}
+	if eastLeft.Mean() < westLeft.Mean()+10 {
+		t.Fatalf("east LEFT %v not well above west %v", eastLeft.Mean(), westLeft.Mean())
+	}
+	if eastChildren.Mean() > westChildren.Mean()-2 {
+		t.Fatalf("east children %v not well below west %v",
+			eastChildren.Mean(), westChildren.Mean())
+	}
+	if cityGreen.Mean() < otherGreen.Mean()+4 {
+		t.Fatalf("city GREEN %v not well above elsewhere %v",
+			cityGreen.Mean(), otherGreen.Mean())
+	}
+	// Planted CDU↔SPD anti-correlation in the east must be stronger than
+	// in the west.
+	corr := func(reg int) float64 {
+		var sx, sy, sxx, syy, sxy, cnt float64
+		for i := 0; i < ds.N(); i++ {
+			if so.Regime[i] != reg {
+				continue
+			}
+			x, y := ds.Y.At(i, 0), ds.Y.At(i, 1)
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+			cnt++
+		}
+		cov := sxy/cnt - sx/cnt*sy/cnt
+		vx := sxx/cnt - sx/cnt*sx/cnt
+		vy := syy/cnt - sy/cnt*sy/cnt
+		return cov / math.Sqrt(vx*vy)
+	}
+	east, west := corr(RegimeEast), corr(RegimeWest)
+	if east > -0.8 {
+		t.Fatalf("east CDU/SPD correlation = %v, want strongly negative", east)
+	}
+	if east >= west {
+		t.Fatalf("east correlation %v not below west %v", east, west)
+	}
+}
+
+func TestWaterQualityLikeStructure(t *testing.T) {
+	w := WaterQualityLike(SeedWater)
+	ds := w.DS
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ds.N() != 1060 || ds.Dx() != 14 || ds.Dy() != 16 {
+		t.Fatalf("dims = %d/%d/%d", ds.N(), ds.Dx(), ds.Dy())
+	}
+	// Ordinal levels are only 0/1/3/5.
+	for _, c := range ds.Descriptors {
+		for _, v := range c.Values {
+			if v != 0 && v != 1 && v != 3 && v != 5 {
+				t.Fatalf("bioindicator %q has level %v", c.Name, v)
+			}
+		}
+	}
+	// The planted rule (sensitive ≤ 0 AND tolerant ≥ 3) selects a
+	// polluted tail of plausible size with elevated BOD mean & variance.
+	sens := ds.Descriptors[w.SensitiveAttr]
+	tol := ds.Descriptors[w.TolerantAttr]
+	bodIdx := ds.TargetIndex("bod")
+	var inBod, outBod stats.Welford
+	for i := 0; i < ds.N(); i++ {
+		if sens.Values[i] <= 0 && tol.Values[i] >= 3 {
+			inBod.Add(ds.Y.At(i, bodIdx))
+		} else {
+			outBod.Add(ds.Y.At(i, bodIdx))
+		}
+	}
+	if inBod.N() < 40 || inBod.N() > 300 {
+		t.Fatalf("planted rule covers %d records", inBod.N())
+	}
+	if inBod.Mean() < outBod.Mean()+2 {
+		t.Fatalf("subgroup BOD mean %v not above rest %v", inBod.Mean(), outBod.Mean())
+	}
+	if inBod.Var() < 1.5*outBod.Var() {
+		t.Fatalf("subgroup BOD variance %v not inflated vs %v", inBod.Var(), outBod.Var())
+	}
+}
+
+func TestAllReplicasRoundTripCSV(t *testing.T) {
+	dss := []*dataset.Dataset{
+		Synthetic620(1).DS,
+		SocioEconLike(2).DS,
+		WaterQualityLike(3).DS,
+	}
+	for _, ds := range dss {
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", ds.Name, err)
+		}
+		got, err := dataset.ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("%s: ReadCSV: %v", ds.Name, err)
+		}
+		if got.N() != ds.N() || got.Dx() != ds.Dx() || got.Dy() != ds.Dy() {
+			t.Fatalf("%s: round trip changed dims", ds.Name)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/randx"
+)
+
+// Mammals is the European mammals atlas replica plus its ground truth.
+type Mammals struct {
+	DS *dataset.Dataset
+	// Lat/Lon give the grid coordinates of every cell (for map-style
+	// rendering of pattern extensions).
+	Lat, Lon []float64
+	// Archetype[s] is the niche class of species s: 0=northern,
+	// 1=southern, 2=wet, 3=dry, 4=cosmopolitan.
+	Archetype []int
+}
+
+// Species archetypes.
+const (
+	ArchNorthern = iota
+	ArchSouthern
+	ArchWet
+	ArchDry
+	ArchCosmopolitan
+	numArchetypes
+)
+
+// MammalsLike generates a replica of the European mammals atlas joined
+// with WorldClim climate indicators: 2220 grid cells (60×37 lattice over
+// Europe-like coordinates), 67 numeric climate descriptors and 124
+// binary species-presence targets. The replica preserves what
+// Figs. 4–6 and the Table II "Ma" column rely on: smooth, geographically
+// coherent climate fields (so one or two climate conditions select a
+// contiguous region), and blocks of species with correlated presence
+// driven by shared niches (so a subgroup shifts many target attributes
+// at once, and the background model must account for the correlation).
+func MammalsLike(seed int64) *Mammals {
+	src := randx.New(seed)
+	const (
+		rows = 60 // south→north
+		cols = 37 // west→east
+		n    = rows * cols
+		dy   = 124
+	)
+
+	ma := &Mammals{
+		Lat: make([]float64, n),
+		Lon: make([]float64, n),
+	}
+	// Latent climate fields per cell.
+	temp := make([]float64, n)  // annual mean temperature, °C
+	seaso := make([]float64, n) // continentality (east → seasonal)
+	rain := make([]float64, n)  // annual rainfall proxy, mm/month
+	summerDry := make([]float64, n)
+	idx := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			lat := 35 + 36*float64(r)/float64(rows-1)  // 35..71 °N
+			lon := -10 + 40*float64(c)/float64(cols-1) // -10..30 °E
+			ma.Lat[idx] = lat
+			ma.Lon[idx] = lon
+			temp[idx] = 22 - 0.55*(lat-35) + src.Normal(0, 0.8)
+			seaso[idx] = 0.5 + 0.9*(lon+10)/40 + src.Normal(0, 0.08)
+			rain[idx] = 75 - 0.9*(lon+10) + 0.35*(lat-35) + src.Normal(0, 4)
+			// Mediterranean summers: dry in the south-west.
+			summerDry[idx] = clamp(1.6-0.05*(lat-35)-0.012*(lon+10), 0, 2) // 0..2, high = dry summer
+			idx++
+		}
+	}
+
+	// 67 climate indicators derived from the latent fields, echoing the
+	// WorldClim naming the paper quotes in Fig. 6.
+	descr := make([]dataset.Column, 0, 67)
+	addField := func(name string, f func(i int) float64) {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = f(i)
+		}
+		descr = append(descr, numColumn(name, v))
+	}
+	months := []string{"jan", "feb", "mar", "apr", "may", "jun",
+		"jul", "aug", "sep", "oct", "nov", "dec"}
+	seasonal := []float64{-1, -0.9, -0.55, 0, 0.5, 0.9, 1, 0.95, 0.5, 0, -0.5, -0.9}
+	for mi, m := range months {
+		mi := mi
+		addField("mean_temp_"+m, func(i int) float64 {
+			return temp[i] + 9*seasonal[mi]*seaso[i] + src.Normal(0, 0.4)
+		})
+	}
+	rainShape := []float64{1.1, 1.0, 0.95, 0.9, 0.85, 0.7, 0.6, 0.55, 0.8, 1.0, 1.15, 1.2}
+	for mi, m := range months {
+		mi := mi
+		addField("avg_rain_"+m, func(i int) float64 {
+			dry := 1.0
+			if mi >= 5 && mi <= 8 { // summer months dry out in the south
+				dry = clamp(1-0.42*summerDry[i], 0.05, 1)
+			}
+			return clamp(rain[i]*rainShape[mi]*dry+src.Normal(0, 3), 0, 400)
+		})
+	}
+	// Aggregate bio-climatic indicators (temperature/rainfall of wettest,
+	// driest, warmest, coldest quarters, ranges, isothermality, ...).
+	quarters := []struct {
+		name string
+		m    [3]int
+	}{
+		{"q1", [3]int{0, 1, 2}}, {"q2", [3]int{3, 4, 5}},
+		{"q3", [3]int{6, 7, 8}}, {"q4", [3]int{9, 10, 11}},
+	}
+	meanTempOf := func(i int, q [3]int) float64 {
+		var s float64
+		for _, mi := range q {
+			s += temp[i] + 9*seasonal[mi]*seaso[i]
+		}
+		return s / 3
+	}
+	meanRainOf := func(i int, q [3]int) float64 {
+		var s float64
+		for _, mi := range q {
+			dry := 1.0
+			if mi >= 5 && mi <= 8 {
+				dry = clamp(1-0.42*summerDry[i], 0.05, 1)
+			}
+			s += rain[i] * rainShape[mi] * dry
+		}
+		return s / 3
+	}
+	for _, q := range quarters {
+		q := q
+		addField("mean_temp_"+q.name, func(i int) float64 {
+			return meanTempOf(i, q.m) + src.Normal(0, 0.3)
+		})
+		addField("avg_rain_"+q.name, func(i int) float64 {
+			return clamp(meanRainOf(i, q.m)+src.Normal(0, 2.5), 0, 400)
+		})
+	}
+	addField("mean_temp_wettest_q", func(i int) float64 {
+		best, bestRain := 0, -1.0
+		for qi, q := range quarters {
+			if r := meanRainOf(i, q.m); r > bestRain {
+				bestRain, best = r, qi
+			}
+		}
+		return meanTempOf(i, quarters[best].m) + src.Normal(0, 0.3)
+	})
+	addField("mean_temp_driest_q", func(i int) float64 {
+		best, bestRain := 0, 1e18
+		for qi, q := range quarters {
+			if r := meanRainOf(i, q.m); r < bestRain {
+				bestRain, best = r, qi
+			}
+		}
+		return meanTempOf(i, quarters[best].m) + src.Normal(0, 0.3)
+	})
+	addField("temp_annual_range", func(i int) float64 {
+		return 18*seaso[i] + src.Normal(0, 0.5)
+	})
+	addField("isothermality", func(i int) float64 {
+		return clamp(0.5-0.15*seaso[i]+src.Normal(0, 0.03), 0, 1)
+	})
+	addField("rain_seasonality", func(i int) float64 {
+		return clamp(0.2+0.3*summerDry[i]+src.Normal(0, 0.05), 0, 2)
+	})
+	// Elevation-flavoured extras to reach 67 descriptors.
+	for len(descr) < 67 {
+		k := len(descr)
+		addField(fmt.Sprintf("climate_extra_%02d", k), func(i int) float64 {
+			return 0.4*temp[i] - 0.2*rain[i]/10 + float64(k%5)*seaso[i] + src.Normal(0, 1)
+		})
+	}
+
+	// 124 species in correlated niche blocks.
+	ma.Archetype = make([]int, dy)
+	y := mat.NewDense(n, dy)
+	targetNames := make([]string, dy)
+	for s := 0; s < dy; s++ {
+		arch := s % numArchetypes
+		ma.Archetype[s] = arch
+		targetNames[s] = speciesName(arch, s)
+		// Niche response: logit of presence as a function of the latent
+		// fields, with per-species jitter.
+		jt := src.Normal(0, 0.3)
+		jr := src.Normal(0, 0.3)
+		var bias, bTemp, bRain float64
+		switch arch {
+		case ArchNorthern:
+			bias, bTemp, bRain = 2.2, -0.55+0.1*jt, 0.01*jr
+		case ArchSouthern:
+			bias, bTemp, bRain = -5.5, 0.55+0.1*jt, 0.01*jr
+		case ArchWet:
+			bias, bTemp, bRain = -4.0, 0.05*jt, 0.08+0.015*jr
+		case ArchDry:
+			bias, bTemp, bRain = 1.5, 0.05*jt, -0.07+0.015*jr
+		default: // cosmopolitan: widespread with mild preferences
+			bias, bTemp, bRain = 1.2, 0.08*jt, 0.01*jr
+		}
+		for i := 0; i < n; i++ {
+			logit := bias + bTemp*temp[i] + bRain*rain[i] + src.Normal(0, 0.6)
+			y.Set(i, s, float64(src.Bernoulli(sigmoid(logit))))
+		}
+	}
+
+	ma.DS = &dataset.Dataset{
+		Name:        "mammalslike",
+		Descriptors: descr,
+		TargetNames: targetNames,
+		Y:           y,
+	}
+	return ma
+}
+
+func speciesName(arch, s int) string {
+	prefix := []string{"boreal", "meridional", "riparian", "steppe", "common"}[arch]
+	return fmt.Sprintf("%s_species_%03d", prefix, s)
+}

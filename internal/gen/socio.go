@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/randx"
+)
+
+// Socio is the German socio-economics replica plus its ground truth.
+type Socio struct {
+	DS *dataset.Dataset
+	// Regime[i] ∈ {east, west, city} per district.
+	Regime []int
+	// Lat/Lon are schematic district coordinates (for map rendering).
+	Lat, Lon []float64
+}
+
+// District regimes.
+const (
+	RegimeWest = iota
+	RegimeEast
+	RegimeCity
+)
+
+// SocioEconLike generates a replica of the German socio-economic
+// dataset of Boley et al.: 412 districts with 13 age/workforce
+// descriptors and 5 targets (the 2009 vote shares of CDU, SPD, FDP,
+// GREEN and LEFT). The replica preserves what Figs. 7–8 rely on:
+//
+//   - eastern districts have markedly fewer children and a much higher
+//     LEFT share at the expense of all other parties, so "Children Pop
+//     ≤ c" recovers the east (plus a few student cities);
+//   - larger cities have more middle-aged inhabitants and an elevated
+//     GREEN share at the expense of LEFT;
+//   - within the east, CDU and SPD compete for the same voter pool, so
+//     the anti-correlation between them is much stronger than in the
+//     full data — the planted low-variance spread direction over
+//     (CDU, SPD).
+func SocioEconLike(seed int64) *Socio {
+	src := randx.New(seed)
+	const n = 412
+
+	so := &Socio{
+		Regime: make([]int, n),
+		Lat:    make([]float64, n),
+		Lon:    make([]float64, n),
+	}
+	// ~19% east, ~15% big cities, rest west-rural.
+	for i := 0; i < n; i++ {
+		switch {
+		case i < 78:
+			so.Regime[i] = RegimeEast
+		case i < 140:
+			so.Regime[i] = RegimeCity
+		default:
+			so.Regime[i] = RegimeWest
+		}
+	}
+	perm := src.Perm(n) // shuffle so regimes are interleaved in row order
+	regime := make([]int, n)
+	for i, p := range perm {
+		regime[i] = so.Regime[p]
+	}
+	so.Regime = regime
+
+	children := make([]float64, n)
+	middle := make([]float64, n)
+	elderly := make([]float64, n)
+	for i := 0; i < n; i++ {
+		switch so.Regime[i] {
+		case RegimeEast:
+			children[i] = src.Normal(12.5, 0.7)
+			middle[i] = src.Normal(24.5, 1.0)
+			elderly[i] = src.Normal(24.0, 1.2)
+			so.Lat[i] = src.Normal(52.0, 1.2)
+			so.Lon[i] = src.Normal(12.8, 1.0)
+		case RegimeCity:
+			children[i] = src.Normal(14.8, 0.8)
+			middle[i] = src.Normal(27.8, 0.9)
+			elderly[i] = src.Normal(19.5, 1.2)
+			so.Lat[i] = src.Normal(50.5, 1.8)
+			so.Lon[i] = src.Normal(9.0, 2.2)
+		default:
+			children[i] = src.Normal(17.0, 0.8)
+			middle[i] = src.Normal(25.6, 0.8)
+			elderly[i] = src.Normal(21.0, 1.2)
+			so.Lat[i] = src.Normal(50.2, 1.6)
+			so.Lon[i] = src.Normal(8.5, 2.0)
+		}
+	}
+
+	// Workforce descriptors (10 more to reach dx=13).
+	agri := make([]float64, n)
+	industry := make([]float64, n)
+	service := make([]float64, n)
+	trade := make([]float64, n)
+	construction := make([]float64, n)
+	finance := make([]float64, n)
+	public := make([]float64, n)
+	selfEmp := make([]float64, n)
+	unemployment := make([]float64, n)
+	commuters := make([]float64, n)
+	for i := 0; i < n; i++ {
+		city := 0.0
+		if so.Regime[i] == RegimeCity {
+			city = 1
+		}
+		east := 0.0
+		if so.Regime[i] == RegimeEast {
+			east = 1
+		}
+		agri[i] = clamp(src.Normal(3.5-3.0*city+1.0*east, 0.8), 0, 15)
+		industry[i] = clamp(src.Normal(28-6*city, 3), 5, 50)
+		service[i] = clamp(src.Normal(52+9*city+2*east, 3), 30, 85)
+		trade[i] = clamp(src.Normal(14+2*city, 1.5), 5, 30)
+		construction[i] = clamp(src.Normal(6.5+1.5*east-1.0*city, 0.8), 2, 15)
+		finance[i] = clamp(src.Normal(3.2+2.5*city-0.8*east, 0.7), 0.5, 12)
+		public[i] = clamp(src.Normal(22+2*east, 2), 10, 40)
+		selfEmp[i] = clamp(src.Normal(10+1.5*city-1.5*east, 1.2), 4, 20)
+		// Deliberately overlapping across regimes, so the crisp east
+		// marker is the children share (as in the paper's Fig. 7a), not
+		// unemployment.
+		unemployment[i] = clamp(src.Normal(7.5+4.0*east+1.5*city, 2.4), 2, 22)
+		commuters[i] = clamp(src.Normal(38-12*city, 5), 5, 70)
+	}
+
+	// Vote shares. LEFT is strong in the east; GREEN in cities. Within
+	// the east, a common center-party pool splits between CDU and SPD
+	// with a volatile ratio but a tight total (the planted low-variance
+	// direction).
+	y := mat.NewDense(n, 5) // CDU, SPD, FDP, GREEN, LEFT
+	for i := 0; i < n; i++ {
+		var cdu, spd, fdp, green, left float64
+		switch so.Regime[i] {
+		case RegimeEast:
+			left = clamp(src.Normal(27, 4.5), 12, 42)
+			fdp = clamp(src.Normal(8.5, 2.2), 3, 16)
+			green = clamp(src.Normal(5.5, 2.0), 1, 13)
+			// CDU and SPD battle over a shared center-party pool: the pool
+			// total is very tight while the split ratio is volatile — the
+			// planted low-variance direction over (CDU, SPD).
+			pool := clamp(src.Normal(51, 0.7), 40, 62)
+			ratio := clamp(src.Normal(0.58, 0.11), 0.25, 0.9)
+			cdu = pool * ratio
+			spd = pool * (1 - ratio)
+		case RegimeCity:
+			left = clamp(src.Normal(8, 1.5), 3, 16)
+			green = clamp(src.Normal(16, 2.2), 8, 28)
+			fdp = clamp(src.Normal(11, 1.5), 5, 20)
+			cdu = clamp(src.Normal(28, 3.5), 15, 45)
+			spd = clamp(src.Normal(24, 3.5), 12, 40)
+		default:
+			left = clamp(src.Normal(7, 1.4), 2, 14)
+			green = clamp(src.Normal(9.5, 1.8), 4, 20)
+			fdp = clamp(src.Normal(14, 2.0), 6, 24)
+			cdu = clamp(src.Normal(36, 4.0), 20, 55)
+			spd = clamp(src.Normal(22, 4.0), 10, 40)
+		}
+		y.Set(i, 0, cdu)
+		y.Set(i, 1, spd)
+		y.Set(i, 2, fdp)
+		y.Set(i, 3, green)
+		y.Set(i, 4, left)
+	}
+
+	so.DS = &dataset.Dataset{
+		Name: "socioeconlike",
+		Descriptors: []dataset.Column{
+			numColumn("children_pop", children),
+			numColumn("middleaged_pop", middle),
+			numColumn("elderly_pop", elderly),
+			numColumn("wf_agriculture", agri),
+			numColumn("wf_industry", industry),
+			numColumn("wf_service", service),
+			numColumn("wf_trade", trade),
+			numColumn("wf_construction", construction),
+			numColumn("wf_finance", finance),
+			numColumn("wf_public", public),
+			numColumn("wf_selfemployed", selfEmp),
+			numColumn("unemployment", unemployment),
+			numColumn("commuter_share", commuters),
+		},
+		TargetNames: []string{"CDU_2009", "SPD_2009", "FDP_2009", "GREEN_2009", "LEFT_2009"},
+		Y:           y,
+	}
+	return so
+}

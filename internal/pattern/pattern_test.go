@@ -1,0 +1,208 @@
+package pattern
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/mat"
+)
+
+func testDS() *dataset.Dataset {
+	y := mat.NewDense(6, 2)
+	copy(y.Data, []float64{
+		1, 10,
+		2, 20,
+		3, 30,
+		4, 40,
+		5, 50,
+		6, 60,
+	})
+	return &dataset.Dataset{
+		Name: "t",
+		Descriptors: []dataset.Column{
+			{Name: "x", Kind: dataset.Numeric, Values: []float64{1, 2, 3, 4, 5, 6}},
+			{Name: "c", Kind: dataset.Binary, Values: []float64{0, 1, 0, 1, 0, 1},
+				Levels: []string{"no", "yes"}},
+		},
+		TargetNames: []string{"t1", "t2"},
+		Y:           y,
+	}
+}
+
+func TestConditionMatchesAndExtension(t *testing.T) {
+	ds := testDS()
+	le := Condition{Attr: 0, Op: LE, Threshold: 3}
+	ext := le.Extension(ds)
+	if got := ext.Indices(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("LE extension = %v", got)
+	}
+	ge := Condition{Attr: 0, Op: GE, Threshold: 5}
+	if got := ge.Extension(ds).Count(); got != 2 {
+		t.Fatalf("GE extension count = %d", got)
+	}
+	eq := Condition{Attr: 1, Op: EQ, Level: 1}
+	if got := eq.Extension(ds).Indices(); len(got) != 3 || got[0] != 1 {
+		t.Fatalf("EQ extension = %v", got)
+	}
+}
+
+func TestIntentionExtensionIsConjunction(t *testing.T) {
+	ds := testDS()
+	in := Intention{
+		{Attr: 0, Op: LE, Threshold: 4},
+		{Attr: 1, Op: EQ, Level: 1},
+	}
+	got := in.Extension(ds).Indices()
+	// x ≤ 4 gives rows 0..3; c == yes gives 1,3,5; conjunction = 1,3.
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("conjunction = %v", got)
+	}
+	// Empty intention covers everything.
+	if Intention(nil).Extension(ds).Count() != ds.N() {
+		t.Fatal("empty intention should cover all rows")
+	}
+}
+
+func TestIntentionCanonicalKey(t *testing.T) {
+	a := Intention{
+		{Attr: 0, Op: LE, Threshold: 4},
+		{Attr: 1, Op: EQ, Level: 1},
+	}
+	b := Intention{
+		{Attr: 1, Op: EQ, Level: 1},
+		{Attr: 0, Op: LE, Threshold: 4},
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("order must not affect Key")
+	}
+	c := a.Extend(Condition{Attr: 0, Op: GE, Threshold: 1})
+	if c.Key() == a.Key() {
+		t.Fatal("extended intention must differ")
+	}
+	if len(a) != 2 {
+		t.Fatal("Extend must not modify the receiver")
+	}
+	if !a.Contains(Condition{Attr: 0, Op: LE, Threshold: 4}) {
+		t.Fatal("Contains should find existing condition")
+	}
+	if a.Contains(Condition{Attr: 0, Op: LE, Threshold: 5}) {
+		t.Fatal("Contains matched a different threshold")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	ds := testDS()
+	in := Intention{
+		{Attr: 1, Op: EQ, Level: 1},
+		{Attr: 0, Op: GE, Threshold: 2.5},
+	}
+	s := in.Format(ds)
+	if !strings.Contains(s, "c = 'yes'") || !strings.Contains(s, "x >= 2.5") ||
+		!strings.Contains(s, " AND ") {
+		t.Fatalf("Format = %q", s)
+	}
+	if Intention(nil).Format(ds) != "(all)" {
+		t.Fatal("empty intention format")
+	}
+}
+
+func TestSubgroupMeanVariance(t *testing.T) {
+	ds := testDS()
+	ext := bitset.FromIndices(6, []int{0, 2, 4}) // rows with t1 = 1,3,5
+	mu := SubgroupMean(ds.Y, ext)
+	if math.Abs(mu[0]-3) > 1e-12 || math.Abs(mu[1]-30) > 1e-12 {
+		t.Fatalf("SubgroupMean = %v", mu)
+	}
+	// Variance of t1 ∈ {1,3,5} around mean 3 is 8/3.
+	w := mat.Vec{1, 0}
+	v := SubgroupVariance(ds.Y, ext, mu, w)
+	if math.Abs(v-8.0/3) > 1e-12 {
+		t.Fatalf("SubgroupVariance = %v", v)
+	}
+}
+
+func TestSubgroupScatterMatchesVariance(t *testing.T) {
+	ds := testDS()
+	rng := rand.New(rand.NewSource(1))
+	ext := bitset.FromIndices(6, []int{1, 2, 5})
+	mu := SubgroupMean(ds.Y, ext)
+	s := SubgroupScatter(ds.Y, ext, mu)
+	for trial := 0; trial < 20; trial++ {
+		w := mat.Vec{rng.NormFloat64(), rng.NormFloat64()}
+		w.Normalize()
+		want := SubgroupVariance(ds.Y, ext, mu, w)
+		got := s.QuadForm(w)
+		if math.Abs(got-want) > 1e-10*(1+want) {
+			t.Fatalf("scatter quadform %v vs direct %v", got, want)
+		}
+	}
+}
+
+func TestNEConditions(t *testing.T) {
+	ds := &dataset.Dataset{
+		Descriptors: []dataset.Column{
+			{Name: "r", Kind: dataset.Categorical,
+				Values: []float64{0, 1, 2, 0}, Levels: []string{"a", "b", "c"}},
+		},
+		TargetNames: []string{"y"},
+		Y:           mat.NewDense(4, 1),
+	}
+	ne := Condition{Attr: 0, Op: NE, Level: 0}
+	got := ne.Extension(ds).Indices()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("NE extension = %v", got)
+	}
+	if s := ne.Format(ds); !strings.Contains(s, "r != 'a'") {
+		t.Fatalf("NE format = %q", s)
+	}
+	// NE and EQ on the same level partition the rows.
+	eq := Condition{Attr: 0, Op: EQ, Level: 0}
+	if eq.Extension(ds).Count()+ne.Extension(ds).Count() != ds.N() {
+		t.Fatal("EQ and NE must partition the data")
+	}
+	// Three-level categorical: 3 EQ + 3 NE conditions.
+	conds := AllConditions(ds, 4)
+	if len(conds) != 6 {
+		t.Fatalf("conditions = %d, want 6", len(conds))
+	}
+}
+
+func TestAllConditions(t *testing.T) {
+	ds := testDS()
+	conds := AllConditions(ds, 4)
+	// numeric x: 4 split points × 2 ops = 8; binary c: 2 levels (no NE
+	// for binary — it would duplicate the other level's EQ).
+	if len(conds) != 10 {
+		t.Fatalf("AllConditions produced %d conditions", len(conds))
+	}
+	seen := map[string]bool{}
+	for _, c := range conds {
+		k := c.key()
+		if seen[k] {
+			t.Fatalf("duplicate condition %v", c.Format(ds))
+		}
+		seen[k] = true
+		if c.Extension(ds).Count() == 0 {
+			t.Fatalf("condition %v has empty extension", c.Format(ds))
+		}
+	}
+}
+
+func TestAllConditionsConstantColumn(t *testing.T) {
+	ds := &dataset.Dataset{
+		Descriptors: []dataset.Column{
+			{Name: "k", Kind: dataset.Numeric, Values: []float64{7, 7, 7}},
+		},
+		TargetNames: []string{"y"},
+		Y:           mat.NewDense(3, 1),
+	}
+	conds := AllConditions(ds, 4)
+	// Constant column deduplicates to a single split point → 2 conditions.
+	if len(conds) != 2 {
+		t.Fatalf("constant column conditions = %d", len(conds))
+	}
+}

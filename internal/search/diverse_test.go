@@ -1,0 +1,49 @@
+package search
+
+import "testing"
+
+func TestDiverseTopK(t *testing.T) {
+	ds := plantedDS(80, 10)
+	res := Beam(ds, scorerFor(t, ds), Params{MaxDepth: 2})
+	picked := DiverseTopK(res, 5, 0.5)
+	if len(picked) == 0 {
+		t.Fatal("nothing selected")
+	}
+	// Best pattern always survives.
+	if picked[0].Intention.Key() != res.Patterns[0].Intention.Key() {
+		t.Fatal("top pattern must be selected first")
+	}
+	// Pairwise Jaccard respected.
+	for i := 0; i < len(picked); i++ {
+		for j := i + 1; j < len(picked); j++ {
+			inter := picked[i].Extension.IntersectCount(picked[j].Extension)
+			union := picked[i].Size + picked[j].Size - inter
+			if union > 0 && float64(inter)/float64(union) > 0.5 {
+				t.Fatalf("patterns %d and %d overlap too much", i, j)
+			}
+		}
+	}
+	// SI order preserved.
+	for i := 1; i < len(picked); i++ {
+		if picked[i].SI > picked[i-1].SI {
+			t.Fatal("selection broke SI ordering")
+		}
+	}
+	// k and edge cases.
+	if got := DiverseTopK(res, 0, 0.5); got != nil {
+		t.Fatal("k=0 should select nothing")
+	}
+	if got := DiverseTopK(res, 1, 0.5); len(got) != 1 {
+		t.Fatalf("k=1 selected %d", len(got))
+	}
+	// maxJaccard=1 degrades to plain top-k.
+	all := DiverseTopK(res, 4, 1.0)
+	if len(all) != 4 {
+		t.Fatalf("maxJaccard=1 selected %d", len(all))
+	}
+	for i := range all {
+		if all[i].Intention.Key() != res.Patterns[i].Intention.Key() {
+			t.Fatal("maxJaccard=1 must equal plain top-k")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/pattern"
+)
+
+// categoricalDS plants a subgroup on one level of a 4-level categorical
+// attribute, so both EQ and NE conditions participate in the search.
+func categoricalDS(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	y := mat.NewDense(n, 1)
+	region := make([]float64, n)
+	for i := 0; i < n; i++ {
+		region[i] = float64(rng.Intn(4))
+		if region[i] == 2 {
+			y.Set(i, 0, 4+0.2*rng.NormFloat64())
+		} else {
+			y.Set(i, 0, 0.2*rng.NormFloat64())
+		}
+	}
+	return &dataset.Dataset{
+		Name: "cat",
+		Descriptors: []dataset.Column{
+			{Name: "region", Kind: dataset.Categorical, Values: region,
+				Levels: []string{"n", "s", "e", "w"}},
+		},
+		TargetNames: []string{"t"},
+		Y:           y,
+	}
+}
+
+func TestBeamCategoricalEQWins(t *testing.T) {
+	ds := categoricalDS(120, 1)
+	res := Beam(ds, scorerFor(t, ds), Params{MaxDepth: 1})
+	top := res.Top()
+	if top == nil {
+		t.Fatal("no result")
+	}
+	c := top.Intention[0]
+	if c.Op != pattern.EQ || c.Level != 2 {
+		t.Fatalf("top = %v, want region = 'e'", top.Intention.Format(ds))
+	}
+}
+
+func TestBeamNEConditionUseful(t *testing.T) {
+	// Plant the subgroup on the COMPLEMENT of one level: the exclusion
+	// condition is then the concise correct description.
+	n := 120
+	rng := rand.New(rand.NewSource(2))
+	y := mat.NewDense(n, 1)
+	region := make([]float64, n)
+	for i := 0; i < n; i++ {
+		region[i] = float64(rng.Intn(3))
+		if region[i] != 0 {
+			y.Set(i, 0, 3+0.2*rng.NormFloat64())
+		} else {
+			y.Set(i, 0, 0.2*rng.NormFloat64())
+		}
+	}
+	ds := &dataset.Dataset{
+		Name: "catne",
+		Descriptors: []dataset.Column{
+			{Name: "g", Kind: dataset.Categorical, Values: region,
+				Levels: []string{"a", "b", "c"}},
+		},
+		TargetNames: []string{"t"},
+		Y:           y,
+	}
+	res := Beam(ds, scorerFor(t, ds), Params{MaxDepth: 1})
+	top := res.Top()
+	if top == nil {
+		t.Fatal("no result")
+	}
+	c := top.Intention[0]
+	if c.Op != pattern.NE || c.Level != 0 {
+		t.Fatalf("top = %v, want g != 'a'", top.Intention.Format(ds))
+	}
+}
+
+func TestBeamTopKTruncation(t *testing.T) {
+	ds := plantedDS(80, 3)
+	res := Beam(ds, scorerFor(t, ds), Params{MaxDepth: 2, TopK: 3})
+	if len(res.Patterns) != 3 {
+		t.Fatalf("TopK not enforced: %d patterns", len(res.Patterns))
+	}
+	// And they are the best 3 of a larger run.
+	full := Beam(ds, scorerFor(t, ds), Params{MaxDepth: 2, TopK: 100})
+	for i := 0; i < 3; i++ {
+		if res.Patterns[i].Intention.Key() != full.Patterns[i].Intention.Key() {
+			t.Fatalf("rank %d differs under truncation", i)
+		}
+	}
+}
+
+func TestBeamWidthOneIsGreedy(t *testing.T) {
+	ds := plantedDS(80, 4)
+	res := Beam(ds, scorerFor(t, ds), Params{MaxDepth: 3, BeamWidth: 1})
+	if res.Top() == nil {
+		t.Fatal("greedy beam found nothing")
+	}
+	// Level counts: with beam width 1 every level expands one node.
+	if res.Levels != 3 {
+		t.Fatalf("Levels = %d", res.Levels)
+	}
+}
+
+func TestBeamEvaluatedCountsGrow(t *testing.T) {
+	ds := plantedDS(80, 5)
+	d1 := Beam(ds, scorerFor(t, ds), Params{MaxDepth: 1})
+	d2 := Beam(ds, scorerFor(t, ds), Params{MaxDepth: 2})
+	if d2.Evaluated <= d1.Evaluated {
+		t.Fatalf("deeper search evaluated fewer candidates: %d vs %d",
+			d2.Evaluated, d1.Evaluated)
+	}
+}

@@ -1,0 +1,357 @@
+// Package search implements the subgroup search strategies of §II-D of
+// the paper: a level-wise beam search over conjunctions of conditions
+// (the strategy of the Cortana tool the paper builds on — beam width 40,
+// search depth 4, top-150 log, optional time budget in the paper's
+// experiments), and an exhaustive enumerator used as a test oracle and
+// for small datasets.
+//
+// The search is generic over a Scorer, so both the SI measure and the
+// baseline quality measures (package baseline) run on the same engine.
+package search
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/pattern"
+)
+
+// Scorer evaluates a candidate subgroup extension described by numConds
+// conditions. ok=false rejects the candidate (too small, degenerate...).
+// Implementations must be safe for concurrent use.
+type Scorer interface {
+	Score(ext *bitset.Set, numConds int) (si, ic float64, mean mat.Vec, ok bool)
+}
+
+// Params configure the beam search. The zero value is completed by
+// sensible defaults matching the paper's experimental setup.
+type Params struct {
+	BeamWidth   int       // candidates kept per level (default 40)
+	MaxDepth    int       // maximum number of conditions (default 4)
+	TopK        int       // size of the global result log (default 150)
+	NumSplits   int       // percentile split points per numeric attr (default 4)
+	MinSupport  int       // minimum subgroup size (default 2)
+	Deadline    time.Time // zero means no time budget
+	Parallelism int       // worker goroutines (default GOMAXPROCS)
+}
+
+func (p Params) withDefaults() Params {
+	if p.BeamWidth <= 0 {
+		p.BeamWidth = 40
+	}
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 4
+	}
+	if p.TopK <= 0 {
+		p.TopK = 150
+	}
+	if p.NumSplits <= 0 {
+		p.NumSplits = 4
+	}
+	if p.MinSupport <= 0 {
+		p.MinSupport = 2
+	}
+	if p.Parallelism <= 0 {
+		p.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Found is one scored subgroup.
+type Found struct {
+	Intention pattern.Intention
+	Extension *bitset.Set
+	Size      int
+	SI, IC    float64
+	Mean      mat.Vec // subgroup target mean (scorer-dependent)
+}
+
+// Results is the outcome of a search, sorted by SI descending.
+type Results struct {
+	Patterns []Found
+	// Evaluated counts scored candidates; Levels the completed depths.
+	Evaluated int
+	Levels    int
+	// TimedOut reports whether the deadline cut the search short.
+	TimedOut bool
+}
+
+// Top returns the best pattern, or nil if the search found nothing.
+func (r *Results) Top() *Found {
+	if len(r.Patterns) == 0 {
+		return nil
+	}
+	return &r.Patterns[0]
+}
+
+type candidate struct {
+	intention pattern.Intention
+	parentExt *bitset.Set
+	cond      pattern.Condition
+	condExt   *bitset.Set
+}
+
+type scored struct {
+	Found
+	key string
+}
+
+// Beam runs the level-wise beam search over the dataset's condition
+// language, scoring candidates with sc.
+func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
+	p = p.withDefaults()
+	conds := pattern.AllConditions(ds, p.NumSplits)
+	condExts := make([]*bitset.Set, len(conds))
+	for i, c := range conds {
+		condExts[i] = c.Extension(ds)
+	}
+
+	res := &Results{}
+	visited := map[string]bool{}
+	var top []scored // global log, sorted by SI desc
+	var beam []scored
+
+	full := bitset.Full(ds.N())
+	// Level 1 candidates: every elementary condition.
+	cands := make([]candidate, 0, len(conds))
+	for i, c := range conds {
+		cands = append(cands, candidate{
+			intention: pattern.Intention{c},
+			parentExt: full,
+			cond:      c,
+			condExt:   condExts[i],
+		})
+	}
+
+	for depth := 1; depth <= p.MaxDepth; depth++ {
+		if len(cands) == 0 {
+			break
+		}
+		if !p.Deadline.IsZero() && time.Now().After(p.Deadline) {
+			res.TimedOut = true
+			break
+		}
+		level := evaluate(cands, sc, p)
+		res.Evaluated += len(cands)
+		res.Levels = depth
+
+		// Deduplicate by canonical intention and merge into the log.
+		var kept []scored
+		for _, s := range level {
+			if visited[s.key] {
+				continue
+			}
+			visited[s.key] = true
+			kept = append(kept, s)
+		}
+		top = mergeTop(top, kept, p.TopK)
+
+		// New beam: best BeamWidth of this level.
+		beam = kept
+		if len(beam) > p.BeamWidth {
+			beam = beam[:p.BeamWidth]
+		}
+		if depth == p.MaxDepth {
+			break
+		}
+
+		// Expand the beam with every condition not already present.
+		cands = cands[:0]
+		for _, b := range beam {
+			for ci, c := range conds {
+				if b.Intention.Contains(c) {
+					continue
+				}
+				cands = append(cands, candidate{
+					intention: b.Intention.Extend(c),
+					parentExt: b.Extension,
+					cond:      c,
+					condExt:   condExts[ci],
+				})
+			}
+		}
+	}
+
+	res.Patterns = make([]Found, len(top))
+	for i, s := range top {
+		res.Patterns[i] = s.Found
+	}
+	return res
+}
+
+// evaluate scores all candidates in parallel and returns them sorted by
+// SI descending with a canonical-key tiebreak (deterministic regardless
+// of scheduling).
+func evaluate(cands []candidate, sc Scorer, p Params) []scored {
+	out := make([]scored, len(cands))
+	valid := make([]bool, len(cands))
+
+	var wg sync.WaitGroup
+	chunk := (len(cands) + p.Parallelism - 1) / p.Parallelism
+	for w := 0; w < p.Parallelism; w++ {
+		lo := w * chunk
+		if lo >= len(cands) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				c := cands[i]
+				ext := c.parentExt.And(c.condExt)
+				size := ext.Count()
+				if size < p.MinSupport {
+					continue
+				}
+				si, ic, mean, ok := sc.Score(ext, len(c.intention))
+				if !ok {
+					continue
+				}
+				out[i] = scored{
+					Found: Found{
+						Intention: c.intention,
+						Extension: ext,
+						Size:      size,
+						SI:        si,
+						IC:        ic,
+						Mean:      mean,
+					},
+					key: c.intention.Key(),
+				}
+				valid[i] = true
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	kept := make([]scored, 0, len(cands))
+	for i := range out {
+		if valid[i] {
+			kept = append(kept, out[i])
+		}
+	}
+	sortScored(kept)
+	return kept
+}
+
+func sortScored(s []scored) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].SI != s[j].SI {
+			return s[i].SI > s[j].SI
+		}
+		return s[i].key < s[j].key
+	})
+}
+
+// mergeTop merges the new level into the global log, keeping the best k.
+func mergeTop(top, level []scored, k int) []scored {
+	top = append(top, level...)
+	sortScored(top)
+	if len(top) > k {
+		top = top[:k]
+	}
+	return top
+}
+
+// DiverseTopK greedily selects up to k patterns from a result log
+// (which is sorted by SI) such that no two selected extensions overlap
+// by more than maxJaccard. Iterative mining with model updates is the
+// principled way to avoid redundancy; this is the cheap single-search
+// alternative when the user wants a portfolio of distinct subgroups
+// from one run.
+func DiverseTopK(res *Results, k int, maxJaccard float64) []Found {
+	if k <= 0 {
+		return nil
+	}
+	var out []Found
+	for _, f := range res.Patterns {
+		ok := true
+		for _, have := range out {
+			inter := have.Extension.IntersectCount(f.Extension)
+			union := have.Size + f.Size - inter
+			if union == 0 || float64(inter)/float64(union) > maxJaccard {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, f)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// Exhaustive enumerates every conjunction of up to maxDepth distinct
+// conditions (each condition used at most once, order-free) and scores
+// all of them. Exponential — use only on small datasets and as the
+// oracle the beam is tested against.
+func Exhaustive(ds *dataset.Dataset, sc Scorer, maxDepth, numSplits, minSupport, topK int) *Results {
+	if numSplits <= 0 {
+		numSplits = 4
+	}
+	if minSupport <= 0 {
+		minSupport = 2
+	}
+	if topK <= 0 {
+		topK = 150
+	}
+	conds := pattern.AllConditions(ds, numSplits)
+	condExts := make([]*bitset.Set, len(conds))
+	for i, c := range conds {
+		condExts[i] = c.Extension(ds)
+	}
+	res := &Results{}
+	var top []scored
+
+	var recurse func(start int, intent pattern.Intention, ext *bitset.Set)
+	recurse = func(start int, intent pattern.Intention, ext *bitset.Set) {
+		for i := start; i < len(conds); i++ {
+			next := ext.And(condExts[i])
+			size := next.Count()
+			if size < minSupport {
+				continue
+			}
+			in := intent.Extend(conds[i])
+			si, ic, mean, ok := sc.Score(next, len(in))
+			res.Evaluated++
+			if ok {
+				top = append(top, scored{
+					Found: Found{Intention: in, Extension: next, Size: size,
+						SI: si, IC: ic, Mean: mean},
+					key: in.Key(),
+				})
+				if len(top) > 4*topK {
+					sortScored(top)
+					top = top[:topK]
+				}
+			}
+			if len(in) < maxDepth {
+				recurse(i+1, in, next)
+			}
+		}
+	}
+	recurse(0, nil, bitset.Full(ds.N()))
+	sortScored(top)
+	if len(top) > topK {
+		top = top[:topK]
+	}
+	res.Patterns = make([]Found, len(top))
+	for i, s := range top {
+		res.Patterns[i] = s.Found
+	}
+	res.Levels = maxDepth
+	return res
+}

@@ -1,0 +1,382 @@
+// Package server exposes the iterative miner as a JSON HTTP API with
+// per-user sessions — the integration target the paper's future work
+// names (§V: "we aim to integrate this method with SIDE, our online
+// tool for exploration of numerical data"). A session owns a dataset
+// and an evolving background model; the client mines, inspects and
+// commits patterns interactively, and the server keeps the belief state
+// between requests.
+//
+// Endpoints (all JSON):
+//
+//	POST   /api/sessions                  create (builtin dataset or inline CSV)
+//	GET    /api/sessions                  list sessions
+//	DELETE /api/sessions/{id}             drop a session
+//	POST   /api/sessions/{id}/mine        mine the next pattern (not committed)
+//	POST   /api/sessions/{id}/commit      commit the pending pattern(s)
+//	GET    /api/sessions/{id}/explain     per-target surprise of the pending pattern
+//	GET    /api/sessions/{id}/history     committed patterns so far
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/pattern"
+	"repro/internal/search"
+	"repro/internal/si"
+	"repro/internal/spreadopt"
+)
+
+// Server is the HTTP API. Create with New and mount via Handler.
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+}
+
+type session struct {
+	mu            sync.Mutex
+	miner         *core.Miner
+	pendingLoc    *pattern.Location
+	pendingSpread *pattern.Spread
+	history       []PatternJSON
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{sessions: map[string]*session{}}
+}
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/sessions", s.handleCreate)
+	mux.HandleFunc("GET /api/sessions", s.handleList)
+	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /api/sessions/{id}/mine", s.handleMine)
+	mux.HandleFunc("POST /api/sessions/{id}/commit", s.handleCommit)
+	mux.HandleFunc("GET /api/sessions/{id}/explain", s.handleExplain)
+	mux.HandleFunc("GET /api/sessions/{id}/history", s.handleHistory)
+	mux.HandleFunc("GET /api/sessions/{id}/model", s.handleModel)
+	return mux
+}
+
+// CreateRequest configures a new session.
+type CreateRequest struct {
+	// Dataset is a builtin name (synthetic|crime|mammals|socio|water) or
+	// "csv" with the data inline in CSV.
+	Dataset string  `json:"dataset"`
+	Seed    int64   `json:"seed,omitempty"`
+	CSV     string  `json:"csv,omitempty"`
+	Gamma   float64 `json:"gamma,omitempty"`
+	Eta     float64 `json:"eta,omitempty"`
+	// Search settings (0 = paper defaults).
+	BeamWidth  int  `json:"beamWidth,omitempty"`
+	Depth      int  `json:"depth,omitempty"`
+	PairSparse bool `json:"pairSparse,omitempty"`
+}
+
+// SessionInfo describes a session to clients.
+type SessionInfo struct {
+	ID         string   `json:"id"`
+	Dataset    string   `json:"dataset"`
+	N          int      `json:"n"`
+	Dx         int      `json:"dx"`
+	Dy         int      `json:"dy"`
+	Targets    []string `json:"targets"`
+	Iterations int      `json:"iterations"`
+}
+
+// PatternJSON is the wire form of a mined pattern.
+type PatternJSON struct {
+	Kind      string    `json:"kind"` // "location" or "spread"
+	Intention string    `json:"intention"`
+	Size      int       `json:"size"`
+	SI        float64   `json:"si"`
+	IC        float64   `json:"ic"`
+	DL        float64   `json:"dl"`
+	Mean      []float64 `json:"mean,omitempty"`
+	W         []float64 `json:"w,omitempty"`
+	Variance  float64   `json:"variance,omitempty"`
+}
+
+// MineRequest selects what to mine.
+type MineRequest struct {
+	Spread bool `json:"spread"`
+}
+
+// MineResponse carries the pending (uncommitted) patterns.
+type MineResponse struct {
+	Location *PatternJSON `json:"location"`
+	Spread   *PatternJSON `json:"spread,omitempty"`
+	// Evaluated counts candidates scored by the beam search.
+	Evaluated int `json:"evaluated"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func buildDataset(req *CreateRequest) (*dataset.Dataset, error) {
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	switch strings.ToLower(req.Dataset) {
+	case "synthetic":
+		return gen.Synthetic620(seed).DS, nil
+	case "crime":
+		return gen.CrimeLike(seed).DS, nil
+	case "mammals":
+		return gen.MammalsLike(seed).DS, nil
+	case "socio":
+		return gen.SocioEconLike(seed).DS, nil
+	case "water":
+		return gen.WaterQualityLike(seed).DS, nil
+	case "csv":
+		if req.CSV == "" {
+			return nil, fmt.Errorf("dataset \"csv\" needs a csv field")
+		}
+		return dataset.ReadCSV(strings.NewReader(req.CSV))
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", req.Dataset)
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	ds, err := buildDataset(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := core.Config{
+		Search: search.Params{BeamWidth: req.BeamWidth, MaxDepth: req.Depth},
+		Spread: spreadopt.Params{PairSparse: req.PairSparse},
+	}
+	if req.Gamma != 0 || req.Eta != 0 {
+		cfg.SI = si.Params{Gamma: req.Gamma, Eta: req.Eta}
+	}
+	miner, err := core.NewMiner(ds, cfg)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "building miner: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%04d", s.nextID)
+	s.sessions[id] = &session{miner: miner}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, s.info(id))
+}
+
+func (s *Server) get(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *Server) info(id string) SessionInfo {
+	sess := s.get(id)
+	ds := sess.miner.DS
+	return SessionInfo{
+		ID: id, Dataset: ds.Name,
+		N: ds.N(), Dx: ds.Dx(), Dy: ds.Dy(),
+		Targets:    ds.TargetNames,
+		Iterations: sess.miner.Iteration(),
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.info(id))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Server) withSession(w http.ResponseWriter, r *http.Request) *session {
+	sess := s.get(r.PathValue("id"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return nil
+	}
+	return sess
+}
+
+func locationJSON(ds *dataset.Dataset, loc *pattern.Location) *PatternJSON {
+	return &PatternJSON{
+		Kind:      "location",
+		Intention: loc.Intention.Format(ds),
+		Size:      loc.Size(),
+		SI:        loc.SI, IC: loc.IC, DL: loc.DL,
+		Mean: loc.Mean,
+	}
+}
+
+func spreadJSON(ds *dataset.Dataset, sp *pattern.Spread) *PatternJSON {
+	return &PatternJSON{
+		Kind:      "spread",
+		Intention: sp.Intention.Format(ds),
+		Size:      sp.Size(),
+		SI:        sp.SI, IC: sp.IC, DL: sp.DL,
+		W: sp.W, Variance: sp.Variance,
+	}
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	sess := s.withSession(w, r)
+	if sess == nil {
+		return
+	}
+	var req MineRequest
+	if r.ContentLength > 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			return
+		}
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	loc, log, err := sess.miner.MineLocation()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "mining: %v", err)
+		return
+	}
+	sess.pendingLoc = loc
+	sess.pendingSpread = nil
+	resp := MineResponse{
+		Location:  locationJSON(sess.miner.DS, loc),
+		Evaluated: log.Evaluated,
+	}
+	if req.Spread {
+		// The two-step procedure needs the location committed before the
+		// direction search; preview on a clone so nothing is committed
+		// until the client asks for it.
+		preview := *sess.miner
+		preview.Model = sess.miner.Model.Clone()
+		if err := preview.Model.CommitLocation(loc.Extension, loc.Mean); err != nil {
+			writeErr(w, http.StatusInternalServerError, "spread preview: %v", err)
+			return
+		}
+		sp, err := preview.MineSpread(loc)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "spread: %v", err)
+			return
+		}
+		sess.pendingSpread = sp
+		resp.Spread = spreadJSON(sess.miner.DS, sp)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	sess := s.withSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.pendingLoc == nil {
+		writeErr(w, http.StatusConflict, "nothing mined to commit")
+		return
+	}
+	if err := sess.miner.CommitLocation(sess.pendingLoc); err != nil {
+		writeErr(w, http.StatusInternalServerError, "commit: %v", err)
+		return
+	}
+	sess.history = append(sess.history, *locationJSON(sess.miner.DS, sess.pendingLoc))
+	if sess.pendingSpread != nil {
+		if err := sess.miner.CommitSpread(sess.pendingSpread); err != nil {
+			writeErr(w, http.StatusInternalServerError, "commit spread: %v", err)
+			return
+		}
+		sess.history = append(sess.history, *spreadJSON(sess.miner.DS, sess.pendingSpread))
+	}
+	sess.pendingLoc, sess.pendingSpread = nil, nil
+	writeJSON(w, http.StatusOK, map[string]int{"iterations": sess.miner.Iteration()})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	sess := s.withSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.pendingLoc == nil {
+		writeErr(w, http.StatusConflict, "nothing mined to explain")
+		return
+	}
+	expl, err := sess.miner.ExplainLocation(sess.pendingLoc)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "explain: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, expl)
+}
+
+// handleModel exports the session's background-model state (the user's
+// current belief state) as JSON, so sessions can be persisted and
+// analyzed offline; see background.LoadJSON for restoring.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	sess := s.withSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := sess.miner.Model.SaveJSON(w); err != nil {
+		writeErr(w, http.StatusInternalServerError, "export: %v", err)
+	}
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	sess := s.withSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.history == nil {
+		writeJSON(w, http.StatusOK, []PatternJSON{})
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.history)
+}

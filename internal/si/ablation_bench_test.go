@@ -1,0 +1,70 @@
+package si
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/background"
+	"repro/internal/bitset"
+	"repro/internal/mat"
+)
+
+// Ablation: the shared-Σ fast path (valid while only location patterns
+// are committed) versus the general path that factorizes a d×d matrix
+// per candidate. The paper's scalability pain point is dy=124
+// (mammals); these benches quantify what the fast path buys there.
+
+func benchScorer(b *testing.B, d int, breakFastPath bool) {
+	const n = 2220
+	rng := rand.New(rand.NewSource(1))
+	y := mat.NewDense(n, d)
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	m, err := background.New(n, make(mat.Vec, d), mat.Eye(d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	half := bitset.New(n)
+	for i := 0; i < n/2; i++ {
+		half.Add(i)
+	}
+	mean := make(mat.Vec, d)
+	mean[0] = 1
+	if err := m.CommitLocation(half, mean); err != nil {
+		b.Fatal(err)
+	}
+	if breakFastPath {
+		w := make(mat.Vec, d)
+		w[0] = 1
+		if err := m.CommitSpread(half, w, mean, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sc, err := NewLocationScorer(m, y, Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if (sc.shared != nil) == breakFastPath {
+		b.Fatal("bench setup did not select the intended path")
+	}
+	// A fixed random candidate extension.
+	ext := bitset.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			ext.Add(i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := sc.Score(ext, 2); !ok {
+			b.Fatal("score failed")
+		}
+	}
+}
+
+func BenchmarkScoreSharedSigmaFastPathD16(b *testing.B)  { benchScorer(b, 16, false) }
+func BenchmarkScoreGeneralPathD16(b *testing.B)          { benchScorer(b, 16, true) }
+func BenchmarkScoreSharedSigmaFastPathD124(b *testing.B) { benchScorer(b, 124, false) }
+func BenchmarkScoreGeneralPathD124(b *testing.B)         { benchScorer(b, 124, true) }

@@ -1,0 +1,10 @@
+package si
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/mat"
+)
+
+func bsFrom(n int, idx []int) *bitset.Set { return bitset.FromIndices(n, idx) }
+
+func vec2(a, b float64) mat.Vec { return mat.Vec{a, b} }

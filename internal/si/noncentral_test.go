@@ -1,0 +1,172 @@
+package si
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/background"
+)
+
+// sampleMixture draws from g = Σ (cᵢ copies of) aᵢ·χ²₁(λᵢ) with
+// aᵢ = Sᵢ/total and λᵢ = shiftᵢ²/Sᵢ (one χ²₁ term per point).
+func sampleMixture(rng *rand.Rand, gs []background.GroupStats, total int) float64 {
+	var sum float64
+	for _, g := range gs {
+		a := g.S / float64(total)
+		delta := g.MeanShift / math.Sqrt(g.S)
+		for c := 0; c < g.Count; c++ {
+			z := rng.NormFloat64() + delta
+			sum += a * z * z
+		}
+	}
+	return sum
+}
+
+// maxCDFError compares the fitted CDF against the empirical CDF of
+// Monte Carlo samples (Kolmogorov–Smirnov style statistic).
+func maxCDFError(sm SpreadMoments, samples []float64) float64 {
+	sort.Float64s(samples)
+	worst := 0.0
+	n := float64(len(samples))
+	for i, x := range samples {
+		emp := (float64(i) + 0.5) / n
+		if d := math.Abs(SpreadApproxCDF(sm, x) - emp); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestNoncentralReducesToCentral(t *testing.T) {
+	gs := []background.GroupStats{
+		{Count: 10, S: 1.5, MeanShift: 0},
+		{Count: 20, S: 0.5, MeanShift: 0},
+	}
+	a := Moments(gs, 30)
+	b := MomentsNoncentral(gs, 30)
+	if math.Abs(a.Alpha-b.Alpha) > 1e-12 || math.Abs(a.Beta-b.Beta) > 1e-12 ||
+		math.Abs(a.M-b.M) > 1e-9 {
+		t.Fatalf("zero shifts must reduce to Eq. 18: %+v vs %+v", a, b)
+	}
+}
+
+func TestNoncentralMatchesTrueMoments(t *testing.T) {
+	gs := []background.GroupStats{
+		{Count: 12, S: 2.0, MeanShift: 1.5},
+		{Count: 8, S: 0.7, MeanShift: -0.6},
+	}
+	total := 20
+	sm := MomentsNoncentral(gs, total)
+	// True cumulants.
+	var k1, k2 float64
+	for _, g := range gs {
+		a := g.S / float64(total)
+		lam := g.MeanShift * g.MeanShift / g.S
+		k1 += float64(g.Count) * a * (1 + lam)
+		k2 += 2 * float64(g.Count) * a * a * (1 + 2*lam)
+	}
+	gotMean := sm.Alpha*sm.M + sm.Beta
+	gotVar := 2 * sm.Alpha * sm.Alpha * sm.M
+	if math.Abs(gotMean-k1) > 1e-10*(1+k1) {
+		t.Fatalf("fit mean %v != κ₁ %v", gotMean, k1)
+	}
+	if math.Abs(gotVar-k2) > 1e-10*(1+k2) {
+		t.Fatalf("fit var %v != κ₂ %v", gotVar, k2)
+	}
+}
+
+func TestNoncentralBeatsCentralUnderShift(t *testing.T) {
+	// With substantial mean shifts the noncentral fit must match the
+	// Monte Carlo distribution much better than the central one.
+	gs := []background.GroupStats{
+		{Count: 25, S: 1.0, MeanShift: 2.0},
+		{Count: 15, S: 0.5, MeanShift: -1.5},
+	}
+	total := 40
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = sampleMixture(rng, gs, total)
+	}
+	central := maxCDFError(Moments(gs, total), samples)
+	noncentral := maxCDFError(MomentsNoncentral(gs, total), samples)
+	if noncentral > 0.02 {
+		t.Fatalf("noncentral fit KS error %v too large", noncentral)
+	}
+	if noncentral >= central {
+		t.Fatalf("noncentral fit (%v) not better than central (%v)", noncentral, central)
+	}
+	if central < 0.05 {
+		t.Fatalf("test premise broken: central fit unexpectedly good (%v)", central)
+	}
+}
+
+func TestNoncentralFitAccurateWithoutShift(t *testing.T) {
+	gs := []background.GroupStats{
+		{Count: 30, S: 1.2, MeanShift: 0},
+		{Count: 10, S: 3.0, MeanShift: 0},
+	}
+	total := 40
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = sampleMixture(rng, gs, total)
+	}
+	if err := maxCDFError(Moments(gs, total), samples); err > 0.02 {
+		t.Fatalf("central fit KS error %v too large in its own regime", err)
+	}
+}
+
+func TestSpreadICNoncentralEndToEnd(t *testing.T) {
+	// Overlapping commits leave µᵢ ≠ ŷ_I inside the queried subgroup;
+	// the noncentral IC must differ from the central one there, and
+	// both must be finite.
+	const n = 60
+	m := newModel(t, n, 2)
+	extA := make([]int, 0, 40)
+	for i := 0; i < 40; i++ {
+		extA = append(extA, i)
+	}
+	if err := m.CommitLocation(bsFrom(n, extA), vec2(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Query a subgroup straddling the updated and untouched groups.
+	q := make([]int, 0, 40)
+	for i := 20; i < 60; i++ {
+		q = append(q, i)
+	}
+	ext := bsFrom(n, q)
+	center := vec2(1, 0) // not the model mean of either group
+	w := vec2(1, 0)
+	cIC, err := SpreadIC(m, ext, w, center, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncIC, err := SpreadICNoncentral(m, ext, w, center, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(cIC) || math.IsNaN(ncIC) || math.IsInf(cIC, 0) || math.IsInf(ncIC, 0) {
+		t.Fatalf("non-finite ICs: %v, %v", cIC, ncIC)
+	}
+	if cIC == ncIC {
+		t.Fatal("noncentral IC should differ when means are shifted")
+	}
+}
+
+func TestSpreadApproxCDFMonotone(t *testing.T) {
+	sm := Moments([]background.GroupStats{{Count: 20, S: 1.0}}, 20)
+	prev := -1.0
+	for x := -1.0; x < 6; x += 0.1 {
+		v := SpreadApproxCDF(sm, x)
+		if v < prev-1e-12 || v < 0 || v > 1 {
+			t.Fatalf("CDF misbehaves at %v: %v", x, v)
+		}
+		prev = v
+	}
+	if SpreadApproxCDF(sm, -5) != 0 {
+		t.Fatal("CDF below support must be 0")
+	}
+}

@@ -1,0 +1,102 @@
+package spreadopt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/background"
+	"repro/internal/bitset"
+	"repro/internal/mat"
+	"repro/internal/pattern"
+	"repro/internal/si"
+)
+
+// TestTinySubgroup: the optimizer must behave on a minimum-support
+// subgroup (2 points), where the scatter is rank-1.
+func TestTinySubgroup(t *testing.T) {
+	y := mat.NewDense(10, 2)
+	y.Set(0, 0, 3)
+	y.Set(0, 1, 1)
+	y.Set(1, 0, -3)
+	y.Set(1, 1, -1)
+	m, err := background.New(10, mat.Vec{0, 0}, mat.Eye(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := bitset.FromIndices(10, []int{0, 1})
+	center := pattern.SubgroupMean(y, ext)
+	if err := m.CommitLocation(ext, center); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(m, y, ext, center, 1, si.Default(), Params{Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.IC) || math.IsInf(res.IC, 0) {
+		t.Fatalf("IC = %v", res.IC)
+	}
+	if math.Abs(res.W.Norm()-1) > 1e-9 {
+		t.Fatalf("w norm = %v", res.W.Norm())
+	}
+}
+
+// TestDegenerateVarianceDirection: when the subgroup is (nearly)
+// constant along some axis, ĝ ≈ 0 along it and the clamped IC region is
+// entered; the optimizer must stay finite and still return a unit
+// vector.
+func TestDegenerateVarianceDirection(t *testing.T) {
+	const n = 50
+	y := mat.NewDense(n, 2)
+	for i := 0; i < n; i++ {
+		y.Set(i, 0, float64(i%7))
+		y.Set(i, 1, 0) // exactly constant second axis
+	}
+	m, err := background.New(n, mat.Vec{0, 0}, mat.Eye(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := bitset.Full(n)
+	center := pattern.SubgroupMean(y, ext)
+	if err := m.CommitLocation(ext, center); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(m, y, ext, center, 1, si.Default(), Params{Restarts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.IC) || math.IsInf(res.IC, 0) {
+		t.Fatalf("IC = %v", res.IC)
+	}
+	// The zero-variance axis is "impossibly" quiet — the optimizer
+	// should find it overwhelmingly interesting (clamped but finite).
+	if math.Abs(res.W[1]) < 0.9 {
+		t.Fatalf("expected the degenerate axis to win, got w=%v", res.W)
+	}
+}
+
+// TestStartsCounted: Optimize must report how many starts it explored.
+func TestStartsCounted(t *testing.T) {
+	m, y, ext, center := buildCase(t, 100, 3, mat.Vec{1, 0, 0}, 4, 11)
+	res, err := Optimize(m, y, ext, center, 1, si.Default(), Params{Restarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Starts < 5 {
+		t.Fatalf("Starts = %d, want at least the %d restarts", res.Starts, 5)
+	}
+}
+
+// TestSIUsesSpreadDL: the returned SI must use the spread description
+// length (γ·|C| + η + 1).
+func TestSIUsesSpreadDL(t *testing.T) {
+	m, y, ext, center := buildCase(t, 100, 2, mat.Vec{1, 0}, 5, 12)
+	p := si.Params{Gamma: 0.5, Eta: 1}
+	res, err := Optimize(m, y, ext, center, 2, p, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDL := p.DL(2, true) // 0.5*2 + 1 + 1 = 3
+	if math.Abs(res.SI*wantDL-res.IC) > 1e-9*(1+math.Abs(res.IC)) {
+		t.Fatalf("SI·DL = %v, IC = %v", res.SI*wantDL, res.IC)
+	}
+}

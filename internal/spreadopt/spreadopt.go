@@ -1,0 +1,358 @@
+// Package spreadopt finds the most subjectively interesting spread
+// direction for a subgroup: it maximizes the spread-pattern SI of Eq. 20
+// over the unit sphere (problem 21 of the paper). The original
+// implementation delegated to the Manopt MATLAB toolbox; this package
+// replaces it with projected (Riemannian) gradient ascent using the
+// analytic gradient (which the paper computes but omits for space),
+// seeded from the eigenvectors of the difference between the observed
+// subgroup scatter and the expected covariance plus random restarts.
+//
+// The 2-sparsity mode of §III-C (optimize w over every attribute pair
+// and keep the best) is provided for interpretable directions.
+package spreadopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/background"
+	"repro/internal/bitset"
+	"repro/internal/mat"
+	"repro/internal/pattern"
+	"repro/internal/si"
+)
+
+// Params configure the optimizer. The zero value is completed with
+// defaults.
+type Params struct {
+	MaxIter    int     // gradient steps per start (default 300)
+	Tol        float64 // Riemannian gradient norm tolerance (default 1e-9)
+	Restarts   int     // random restart directions (default 8)
+	Seed       int64   // seed for the random restarts (default 1)
+	PairSparse bool    // restrict w to two nonzero components (§III-C)
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxIter <= 0 {
+		p.MaxIter = 300
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-9
+	}
+	if p.Restarts <= 0 {
+		p.Restarts = 8
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Result is the optimized spread direction with its statistics.
+type Result struct {
+	W        mat.Vec // unit direction
+	Variance float64 // ĝ = wᵀSw, the observed subgroup variance along W
+	IC       float64
+	SI       float64
+	Starts   int // number of starts actually explored
+}
+
+// ErrNoDirection is returned when no valid direction could be scored.
+var ErrNoDirection = errors.New("spreadopt: no valid direction found")
+
+// objective evaluates the spread IC (and its Euclidean gradient) as a
+// function of the direction w, for a fixed extension.
+type objective struct {
+	total   float64
+	counts  []float64
+	sigmas  []*mat.Dense
+	scatter *mat.Dense // S with ĝ(w) = wᵀSw
+}
+
+func newObjective(m *background.Model, y *mat.Dense, ext *bitset.Set, center mat.Vec) (*objective, error) {
+	total := ext.Count()
+	if total == 0 {
+		return nil, background.ErrNoPoints
+	}
+	o := &objective{
+		total:   float64(total),
+		scatter: pattern.SubgroupScatter(y, ext, center),
+	}
+	for _, g := range m.Groups() {
+		ic := g.Members.IntersectCount(ext)
+		if ic == 0 {
+			continue
+		}
+		o.counts = append(o.counts, float64(ic))
+		o.sigmas = append(o.sigmas, g.Sigma)
+	}
+	if len(o.counts) == 0 {
+		return nil, background.ErrNoPoints
+	}
+	return o, nil
+}
+
+func (o *objective) moments(w mat.Vec) (si.SpreadMoments, float64) {
+	var a1, a2, a3 float64
+	inv := 1 / o.total
+	for gi, sigma := range o.sigmas {
+		a := sigma.QuadForm(w) * inv
+		c := o.counts[gi]
+		a1 += c * a
+		a2 += c * a * a
+		a3 += c * a * a * a
+	}
+	sm := si.SpreadMoments{
+		Alpha: a3 / a2, Beta: a1 - a2*a2/a3, M: a2 * a2 * a2 / (a3 * a3),
+		A1: a1, A2: a2, A3: a3,
+	}
+	return sm, o.scatter.QuadForm(w)
+}
+
+// eval returns the IC at w.
+func (o *objective) eval(w mat.Vec) float64 {
+	sm, ghat := o.moments(w)
+	return si.SpreadICFromMoments(sm, ghat)
+}
+
+// evalGrad returns the IC and writes the Euclidean gradient into grad.
+func (o *objective) evalGrad(w mat.Vec, grad mat.Vec) float64 {
+	sm, ghat := o.moments(w)
+	ic, dG, dA1, dA2, dA3 := si.SpreadICGradientTerms(sm, ghat)
+
+	// ∇ĝ = 2Sw.
+	sw := o.scatter.MulVec(w)
+	for i := range grad {
+		grad[i] = 2 * dG * sw[i]
+	}
+	// ∇Aₖ = Σ_g c_g·k·a_gᵏ⁻¹·(2Σ_g w / |I|).
+	inv := 1 / o.total
+	for gi, sigma := range o.sigmas {
+		gw := sigma.MulVec(w)
+		a := w.Dot(gw) * inv
+		coeff := o.counts[gi] * (dA1 + 2*dA2*a + 3*dA3*a*a) * 2 * inv
+		grad.AddScaled(coeff, gw)
+	}
+	return ic
+}
+
+// ascend runs projected gradient ascent from w0 and returns the best
+// direction and IC reached.
+func (o *objective) ascend(w0 mat.Vec, maxIter int, tol float64) (mat.Vec, float64) {
+	w := w0.Clone().Normalize()
+	ic := o.eval(w)
+	grad := make(mat.Vec, len(w))
+	step := 0.1
+	for iter := 0; iter < maxIter; iter++ {
+		cur := o.evalGrad(w, grad)
+		// Riemannian gradient: project out the radial component.
+		grad.AddScaled(-w.Dot(grad), w)
+		gn := grad.Norm()
+		if gn < tol {
+			ic = cur
+			break
+		}
+		// Backtracking line search along the projected direction.
+		improved := false
+		for trial := 0; trial < 30; trial++ {
+			cand := w.Clone().AddScaled(step/gn, grad).Normalize()
+			icCand := o.eval(cand)
+			if icCand > cur+1e-15 {
+				w, ic = cand, icCand
+				step = math.Min(step*1.5, 1.0)
+				improved = true
+				break
+			}
+			step /= 2
+			if step < 1e-14 {
+				break
+			}
+		}
+		if !improved {
+			ic = cur
+			break
+		}
+	}
+	return w, ic
+}
+
+// seeds builds the deterministic start set: eigenvectors of S − Σ̄
+// (directions where the observed scatter deviates most from the expected
+// covariance, both high- and low-variance), plus random unit vectors.
+func (o *objective) seeds(p Params) []mat.Vec {
+	d := o.scatter.R
+	var out []mat.Vec
+
+	diff := o.scatter.Clone()
+	var totalC float64
+	for _, c := range o.counts {
+		totalC += c
+	}
+	for gi, sigma := range o.sigmas {
+		diff.AddScaled(-o.counts[gi]/totalC, sigma)
+	}
+	if _, vecs, err := mat.SymEig(diff); err == nil {
+		take := d
+		if take > 6 {
+			take = 6
+		}
+		for k := 0; k < take/2+1 && k < d; k++ {
+			// Alternate extreme eigenvectors: most inflated, most deflated.
+			out = append(out, column(vecs, k))
+			if d-1-k > k {
+				out = append(out, column(vecs, d-1-k))
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for r := 0; r < p.Restarts; r++ {
+		w := make(mat.Vec, d)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		out = append(out, w.Normalize())
+	}
+	return out
+}
+
+func column(m *mat.Dense, j int) mat.Vec {
+	out := make(mat.Vec, m.R)
+	for i := 0; i < m.R; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Optimize finds the direction w maximizing the spread-pattern SI for
+// the subgroup ext, whose location (center = subgroup mean ŷ_I) must
+// already be committed to the model, matching the paper's two-step
+// procedure. numConds is the size of the subgroup's intention (it only
+// scales SI through the description length).
+func Optimize(m *background.Model, y *mat.Dense, ext *bitset.Set, center mat.Vec,
+	numConds int, sip si.Params, p Params) (*Result, error) {
+	p = p.withDefaults()
+	o, err := newObjective(m, y, ext, center)
+	if err != nil {
+		return nil, err
+	}
+	d := y.C
+	if d < 1 {
+		return nil, fmt.Errorf("spreadopt: no target dimensions")
+	}
+	if p.PairSparse {
+		return optimizePairs(o, d, numConds, sip, p)
+	}
+	if d == 1 {
+		w := mat.Vec{1}
+		ic := o.eval(w)
+		_, ghat := o.moments(w)
+		return &Result{W: w, Variance: ghat, IC: ic,
+			SI: ic / sip.DL(numConds, true), Starts: 1}, nil
+	}
+
+	var best mat.Vec
+	bestIC := math.Inf(-1)
+	starts := 0
+	for _, w0 := range o.seeds(p) {
+		w, ic := o.ascend(w0, p.MaxIter, p.Tol)
+		starts++
+		if ic > bestIC {
+			bestIC, best = ic, w
+		}
+	}
+	if best == nil {
+		return nil, ErrNoDirection
+	}
+	canonicalize(best)
+	_, ghat := o.moments(best)
+	return &Result{
+		W: best, Variance: ghat, IC: bestIC,
+		SI:     bestIC / sip.DL(numConds, true),
+		Starts: starts,
+	}, nil
+}
+
+// optimizePairs implements the 2-sparsity constraint of §III-C: for
+// every pair of target attributes, w = cosθ·e_i + sinθ·e_j is optimized
+// over θ by a dense grid with golden-section refinement, and the best
+// pair wins.
+func optimizePairs(o *objective, d, numConds int, sip si.Params, p Params) (*Result, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("spreadopt: pair-sparse mode needs at least 2 targets")
+	}
+	var best mat.Vec
+	bestIC := math.Inf(-1)
+	starts := 0
+	w := make(mat.Vec, d)
+	evalTheta := func(i, j int, theta float64) float64 {
+		for k := range w {
+			w[k] = 0
+		}
+		w[i] = math.Cos(theta)
+		w[j] = math.Sin(theta)
+		return o.eval(w)
+	}
+	for i := 0; i < d-1; i++ {
+		for j := i + 1; j < d; j++ {
+			starts++
+			// Coarse grid over [0, π): w and −w are equivalent.
+			const grid = 96
+			bestTheta, bestVal := 0.0, math.Inf(-1)
+			for g := 0; g < grid; g++ {
+				theta := math.Pi * float64(g) / grid
+				if v := evalTheta(i, j, theta); v > bestVal {
+					bestVal, bestTheta = v, theta
+				}
+			}
+			// Golden-section refinement around the best grid cell.
+			lo := bestTheta - math.Pi/grid
+			hi := bestTheta + math.Pi/grid
+			const phi = 0.6180339887498949
+			for iter := 0; iter < 60; iter++ {
+				m1 := hi - phi*(hi-lo)
+				m2 := lo + phi*(hi-lo)
+				if evalTheta(i, j, m1) > evalTheta(i, j, m2) {
+					hi = m2
+				} else {
+					lo = m1
+				}
+			}
+			theta := (lo + hi) / 2
+			if v := evalTheta(i, j, theta); v > bestVal {
+				bestVal, bestTheta = v, theta
+			}
+			if bestVal > bestIC {
+				bestIC = bestVal
+				best = make(mat.Vec, d)
+				best[i] = math.Cos(bestTheta)
+				best[j] = math.Sin(bestTheta)
+			}
+		}
+	}
+	if best == nil {
+		return nil, ErrNoDirection
+	}
+	canonicalize(best)
+	_, ghat := o.moments(best)
+	return &Result{
+		W: best, Variance: ghat, IC: bestIC,
+		SI:     bestIC / sip.DL(numConds, true),
+		Starts: starts,
+	}, nil
+}
+
+// canonicalize flips w so its largest-magnitude component is positive
+// (w and −w describe the same spread pattern).
+func canonicalize(w mat.Vec) {
+	maxI := 0
+	for i := range w {
+		if math.Abs(w[i]) > math.Abs(w[maxI]) {
+			maxI = i
+		}
+	}
+	if w[maxI] < 0 {
+		w.Scale(-1)
+	}
+}

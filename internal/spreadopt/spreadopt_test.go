@@ -1,0 +1,206 @@
+package spreadopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/background"
+	"repro/internal/bitset"
+	"repro/internal/mat"
+	"repro/internal/pattern"
+	"repro/internal/si"
+)
+
+// buildCase creates a model and data where the subgroup (all points) has
+// variance `scale` along direction v and 1 elsewhere, against a
+// standard-normal background.
+func buildCase(t *testing.T, n, d int, v mat.Vec, scale float64, seed int64) (*background.Model, *mat.Dense, *bitset.Set, mat.Vec) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	v = v.Clone().Normalize()
+	y := mat.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		// Sample isotropic, then stretch the v component.
+		z := make(mat.Vec, d)
+		for j := range z {
+			z[j] = rng.NormFloat64()
+		}
+		c := z.Dot(v)
+		z.AddScaled(math.Sqrt(scale)-1, v.Clone().Scale(c))
+		copy(y.Row(i), z)
+	}
+	m, err := background.New(n, make(mat.Vec, d), mat.Eye(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := bitset.Full(n)
+	center := pattern.SubgroupMean(y, ext)
+	// Two-step flow: commit the location first.
+	if err := m.CommitLocation(ext, center); err != nil {
+		t.Fatal(err)
+	}
+	return m, y, ext, center
+}
+
+func TestRecoversHighVarianceDirection(t *testing.T) {
+	v := mat.Vec{1, 2, -1, 0.5}
+	m, y, ext, center := buildCase(t, 600, 4, v, 9.0, 1)
+	res, err := Optimize(m, y, ext, center, 1, si.Default(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := math.Abs(res.W.Dot(v.Clone().Normalize()))
+	if dot < 0.97 {
+		t.Fatalf("recovered direction overlaps planted by %v only (w=%v)", dot, res.W)
+	}
+	if res.Variance < 5 {
+		t.Fatalf("variance along w = %v, expected inflated", res.Variance)
+	}
+	if math.Abs(res.W.Norm()-1) > 1e-9 {
+		t.Fatalf("w not unit: %v", res.W.Norm())
+	}
+}
+
+func TestRecoversLowVarianceDirection(t *testing.T) {
+	v := mat.Vec{1, -1, 0}
+	m, y, ext, center := buildCase(t, 600, 3, v, 0.05, 2)
+	res, err := Optimize(m, y, ext, center, 1, si.Default(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := math.Abs(res.W.Dot(v.Clone().Normalize()))
+	if dot < 0.97 {
+		t.Fatalf("recovered direction overlaps planted by %v only (w=%v)", dot, res.W)
+	}
+	if res.Variance > 0.3 {
+		t.Fatalf("variance along w = %v, expected deflated", res.Variance)
+	}
+}
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, y, ext, center := buildCase(t, 200, 5, mat.Vec{1, 0, 0, 0, 1}, 4.0, 4)
+	// Add a second group by committing a location pattern on half.
+	half := bitset.New(200)
+	for i := 0; i < 100; i++ {
+		half.Add(i)
+	}
+	sub := pattern.SubgroupMean(y, half)
+	if err := m.CommitLocation(half, sub); err != nil {
+		t.Fatal(err)
+	}
+	o, err := newObjective(m, y, ext, center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := make(mat.Vec, 5)
+	for trial := 0; trial < 20; trial++ {
+		w := make(mat.Vec, 5)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		w.Normalize()
+		ic := o.evalGrad(w, grad)
+		const h = 1e-6
+		for j := range w {
+			wp := w.Clone()
+			wp[j] += h
+			wm := w.Clone()
+			wm[j] -= h
+			fd := (o.eval(wp) - o.eval(wm)) / (2 * h)
+			if math.Abs(fd-grad[j]) > 1e-3*(1+math.Abs(fd)) {
+				t.Fatalf("grad[%d]: analytic %v, fd %v (ic=%v)", j, grad[j], fd, ic)
+			}
+		}
+	}
+}
+
+func TestPairSparseMode(t *testing.T) {
+	// Inflate variance in the (0,1) plane direction (1,1)/√2.
+	v := mat.Vec{1, 1, 0, 0}
+	m, y, ext, center := buildCase(t, 500, 4, v, 9.0, 5)
+	res, err := Optimize(m, y, ext, center, 1, si.Default(), Params{PairSparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, x := range res.W {
+		if math.Abs(x) > 1e-9 {
+			nonzero++
+		}
+	}
+	if nonzero > 2 {
+		t.Fatalf("pair-sparse w has %d nonzeros: %v", nonzero, res.W)
+	}
+	dot := math.Abs(res.W.Dot(v.Clone().Normalize()))
+	if dot < 0.95 {
+		t.Fatalf("pair-sparse direction overlap = %v (w=%v)", dot, res.W)
+	}
+	if res.Starts != 6 { // C(4,2) pairs
+		t.Fatalf("Starts = %d, want 6", res.Starts)
+	}
+}
+
+func TestPairSparseNotWorseThanAxes(t *testing.T) {
+	m, y, ext, center := buildCase(t, 300, 3, mat.Vec{0, 0, 1}, 6.0, 6)
+	res, err := Optimize(m, y, ext, center, 1, si.Default(), Params{PairSparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := newObjective(m, y, ext, center)
+	for axis := 0; axis < 3; axis++ {
+		w := make(mat.Vec, 3)
+		w[axis] = 1
+		if o.eval(w) > res.IC+1e-6 {
+			t.Fatalf("axis %d beats pair-sparse optimum: %v > %v", axis, o.eval(w), res.IC)
+		}
+	}
+}
+
+func TestSingleTargetDimension(t *testing.T) {
+	n := 100
+	rng := rand.New(rand.NewSource(7))
+	y := mat.NewDense(n, 1)
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64() * 3
+	}
+	m, err := background.New(n, mat.Vec{0}, mat.Eye(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := bitset.Full(n)
+	center := pattern.SubgroupMean(y, ext)
+	if err := m.CommitLocation(ext, center); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(m, y, ext, center, 1, si.Default(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.W) != 1 || math.Abs(res.W[0]) != 1 {
+		t.Fatalf("1-D direction = %v", res.W)
+	}
+	if res.Variance < 4 {
+		t.Fatalf("variance = %v, expected ≈9", res.Variance)
+	}
+}
+
+func TestCanonicalSign(t *testing.T) {
+	w := mat.Vec{-0.8, 0.6}
+	canonicalize(w)
+	if w[0] != 0.8 || w[1] != -0.6 {
+		t.Fatalf("canonicalize = %v", w)
+	}
+}
+
+func TestEmptyExtension(t *testing.T) {
+	m, err := background.New(10, mat.Vec{0, 0}, mat.Eye(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := mat.NewDense(10, 2)
+	if _, err := Optimize(m, y, bitset.New(10), mat.Vec{0, 0}, 1, si.Default(), Params{}); err == nil {
+		t.Fatal("empty extension should error")
+	}
+}

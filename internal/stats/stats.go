@@ -1,0 +1,410 @@
+// Package stats provides the descriptive statistics, probability
+// distributions and special functions used throughout the subgroup
+// discovery library: means and covariance matrices, percentiles,
+// the normal and chi-squared distributions, the regularized incomplete
+// gamma function, the digamma function, Gaussian kernel density
+// estimation (Fig. 1 of the paper) and empirical CDFs (Figs. 8c, 9b).
+//
+// It replaces the statistics toolbox of the MATLAB substrate used by the
+// original implementation, built only on the Go standard library.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Mean returns the arithmetic mean of xs. It returns NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population (divide-by-n) variance of xs, matching
+// the paper's statistic g (Eq. 2) which divides by |I|. Returns NaN for
+// empty input.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// MeanVec returns the column-wise mean of the rows with indices idx in
+// the n×d matrix y. If idx is nil, all rows are used.
+func MeanVec(y *mat.Dense, idx []int) mat.Vec {
+	d := y.C
+	out := make(mat.Vec, d)
+	if idx == nil {
+		for i := 0; i < y.R; i++ {
+			row := y.Row(i)
+			for j, v := range row {
+				out[j] += v
+			}
+		}
+		out.Scale(1 / float64(y.R))
+		return out
+	}
+	if len(idx) == 0 {
+		for j := range out {
+			out[j] = math.NaN()
+		}
+		return out
+	}
+	for _, i := range idx {
+		row := y.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	out.Scale(1 / float64(len(idx)))
+	return out
+}
+
+// CovMat returns the population (divide-by-n) covariance matrix of the
+// rows with indices idx in y, around their own mean. If idx is nil, all
+// rows are used.
+func CovMat(y *mat.Dense, idx []int) *mat.Dense {
+	d := y.C
+	mu := MeanVec(y, idx)
+	cov := mat.NewDense(d, d)
+	accumulate := func(row mat.Vec) {
+		for a := 0; a < d; a++ {
+			da := row[a] - mu[a]
+			if da == 0 {
+				continue
+			}
+			cr := cov.Data[a*d : (a+1)*d]
+			for b := 0; b < d; b++ {
+				cr[b] += da * (row[b] - mu[b])
+			}
+		}
+	}
+	n := 0
+	if idx == nil {
+		n = y.R
+		for i := 0; i < y.R; i++ {
+			accumulate(y.Row(i))
+		}
+	} else {
+		n = len(idx)
+		for _, i := range idx {
+			accumulate(y.Row(i))
+		}
+	}
+	if n == 0 {
+		return cov
+	}
+	cov.Scale(1 / float64(n))
+	cov.Symmetrize()
+	return cov
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between order statistics, the same convention as MATLAB's
+// prctile with interpolation. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Welford accumulates a running mean and variance in a single pass.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (NaN if empty).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Var returns the population variance (NaN if empty).
+func (w *Welford) Var() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n)
+}
+
+// NormalPDF returns the density of N(mu, sigma²) at x.
+func NormalPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return math.Exp(-z*z/2) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// NormalCDF returns P(X ≤ x) for X ~ N(mu, sigma²).
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// NormalQuantile returns the q-th quantile of the standard normal
+// distribution using the Acklam rational approximation refined by one
+// Newton step; absolute error below 1e-9 over (1e-300, 1-1e-16).
+func NormalQuantile(q float64) float64 {
+	if q <= 0 {
+		return math.Inf(-1)
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	// Acklam's coefficients.
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	var x float64
+	switch {
+	case q < plow:
+		u := math.Sqrt(-2 * math.Log(q))
+		x = (((((c[0]*u+c[1])*u+c[2])*u+c[3])*u+c[4])*u + c[5]) /
+			((((d[0]*u+d[1])*u+d[2])*u+d[3])*u + 1)
+	case q > 1-plow:
+		u := math.Sqrt(-2 * math.Log(1-q))
+		x = -(((((c[0]*u+c[1])*u+c[2])*u+c[3])*u+c[4])*u + c[5]) /
+			((((d[0]*u+d[1])*u+d[2])*u+d[3])*u + 1)
+	default:
+		u := q - 0.5
+		r := u * u
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * u /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+	// One Newton refinement.
+	e := NormalCDF(x, 0, 1) - q
+	x -= e / NormalPDF(x, 0, 1)
+	return x
+}
+
+// LogGammaPDFAffine is not defined here; see package si for the spread IC.
+
+// GammaIncP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a,x)/Γ(a) for a > 0, x ≥ 0, using the series expansion for
+// x < a+1 and the continued fraction otherwise (Numerical Recipes style).
+func GammaIncP(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaContinuedFraction(a, x)
+	}
+}
+
+// GammaIncQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 − P(a, x).
+func GammaIncQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaSeries(a, x)
+	default:
+		return gammaContinuedFraction(a, x)
+	}
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-16 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-16 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquaredCDF returns P(X ≤ x) for X ~ χ²_k.
+func ChiSquaredCDF(x, k float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return GammaIncP(k/2, x/2)
+}
+
+// ChiSquaredLogPDF returns the log density of χ²_k at x (−Inf for x ≤ 0).
+func ChiSquaredLogPDF(x, k float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(k / 2)
+	return (k/2-1)*math.Log(x) - x/2 - (k/2)*math.Ln2 - lg
+}
+
+// Digamma returns ψ(x), the derivative of log Γ, for x > 0, via the
+// recurrence ψ(x) = ψ(x+1) − 1/x and the asymptotic series for large x.
+func Digamma(x float64) float64 {
+	if x <= 0 {
+		return math.NaN()
+	}
+	var acc float64
+	for x < 10 {
+		acc -= 1 / x
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	// ln x − 1/(2x) − 1/(12x²) + 1/(120x⁴) − 1/(252x⁶) + 1/(240x⁸)
+	return acc + math.Log(x) - inv/2 -
+		inv2*(1.0/12-inv2*(1.0/120-inv2*(1.0/252-inv2/240)))
+}
+
+// KDE is a one-dimensional Gaussian kernel density estimate, used to
+// reproduce the "distribution over the full data / within the subgroup"
+// curves of Fig. 1.
+type KDE struct {
+	xs []float64
+	h  float64 // bandwidth
+}
+
+// NewKDE builds a Gaussian KDE over xs. If bandwidth ≤ 0, Silverman's
+// rule of thumb h = 1.06·σ̂·n^(−1/5) is used (with σ̂ the sample standard
+// deviation, floored to a small positive value for degenerate samples).
+func NewKDE(xs []float64, bandwidth float64) *KDE {
+	if len(xs) == 0 {
+		panic("stats: KDE needs at least one point")
+	}
+	h := bandwidth
+	if h <= 0 {
+		sd := math.Sqrt(Variance(xs))
+		if sd < 1e-9 {
+			sd = 1e-9
+		}
+		h = 1.06 * sd * math.Pow(float64(len(xs)), -0.2)
+	}
+	return &KDE{xs: append([]float64(nil), xs...), h: h}
+}
+
+// Bandwidth returns the kernel bandwidth in use.
+func (k *KDE) Bandwidth() float64 { return k.h }
+
+// PDF returns the estimated density at x.
+func (k *KDE) PDF(x float64) float64 {
+	var s float64
+	for _, xi := range k.xs {
+		s += NormalPDF(x, xi, k.h)
+	}
+	return s / float64(len(k.xs))
+}
+
+// Grid evaluates the density on m equally spaced points spanning
+// [lo, hi] and returns the locations and densities.
+func (k *KDE) Grid(lo, hi float64, m int) (xs, ds []float64) {
+	if m < 2 {
+		panic("stats: KDE grid needs at least 2 points")
+	}
+	xs = make([]float64, m)
+	ds = make([]float64, m)
+	step := (hi - lo) / float64(m-1)
+	for i := range xs {
+		xs[i] = lo + float64(i)*step
+		ds[i] = k.PDF(xs[i])
+	}
+	return xs, ds
+}
+
+// ECDF returns the empirical CDF of xs evaluated at x: the fraction of
+// samples ≤ x.
+func ECDF(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, v := range xs {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,210 @@
+// Package viz renders the paper's figure types as ASCII: overlaid
+// density curves (Fig. 1), geographic maps of pattern extensions
+// (Figs. 4, 6, 7) and horizontal bar comparisons of observed vs
+// expected means (Figs. 5, 8a, 10). Terminal-friendly stand-ins for the
+// paper's plots, shared by the examples and the experiment drivers.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// DensityPlot renders overlaid curves on a shared grid. Each series is
+// drawn with its own glyph; later series draw over earlier ones.
+type DensityPlot struct {
+	Width, Height int
+	series        []densitySeries
+}
+
+type densitySeries struct {
+	ys    []float64
+	glyph byte
+}
+
+// NewDensityPlot creates a plot canvas. Width is the number of columns
+// (= samples per series), Height the number of text rows.
+func NewDensityPlot(width, height int) *DensityPlot {
+	if width < 2 || height < 2 {
+		panic("viz: density plot needs width, height >= 2")
+	}
+	return &DensityPlot{Width: width, Height: height}
+}
+
+// Add appends a series; ys must have exactly Width samples.
+func (p *DensityPlot) Add(ys []float64, glyph byte) {
+	if len(ys) != p.Width {
+		panic(fmt.Sprintf("viz: series has %d samples, want %d", len(ys), p.Width))
+	}
+	p.series = append(p.series, densitySeries{ys: append([]float64(nil), ys...), glyph: glyph})
+}
+
+// Render draws all series as filled columns, normalized to the global
+// maximum, with an x-axis line.
+func (p *DensityPlot) Render() string {
+	maxY := 0.0
+	for _, s := range p.series {
+		for _, v := range s.ys {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	rows := make([][]byte, p.Height)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", p.Width))
+	}
+	if maxY > 0 {
+		for _, s := range p.series {
+			for col, v := range s.ys {
+				h := int(v / maxY * float64(p.Height-1))
+				for yy := 0; yy <= h; yy++ {
+					rows[p.Height-1-yy][col] = s.glyph
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat("-", p.Width))
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// GridMap renders points with coordinates onto a character grid — the
+// ASCII analogue of the paper's European maps. Points in the marked set
+// render as '#', other points as '.', empty cells as ' '.
+type GridMap struct {
+	Rows, Cols int
+
+	latLo, latHi float64
+	lonLo, lonHi float64
+	cells        [][]byte
+}
+
+// NewGridMap builds a map canvas covering the bounding box of the given
+// coordinates.
+func NewGridMap(rows, cols int, lat, lon []float64) *GridMap {
+	if rows < 2 || cols < 2 {
+		panic("viz: grid map needs rows, cols >= 2")
+	}
+	if len(lat) == 0 || len(lat) != len(lon) {
+		panic("viz: lat/lon must be equal-length and non-empty")
+	}
+	m := &GridMap{
+		Rows: rows, Cols: cols,
+		latLo: lat[0], latHi: lat[0], lonLo: lon[0], lonHi: lon[0],
+	}
+	for i := range lat {
+		m.latLo = math.Min(m.latLo, lat[i])
+		m.latHi = math.Max(m.latHi, lat[i])
+		m.lonLo = math.Min(m.lonLo, lon[i])
+		m.lonHi = math.Max(m.lonHi, lon[i])
+	}
+	m.cells = make([][]byte, rows)
+	for i := range m.cells {
+		m.cells[i] = []byte(strings.Repeat(" ", cols))
+	}
+	return m
+}
+
+// cell maps a coordinate to a grid cell (row 0 = top = highest
+// latitude).
+func (m *GridMap) cell(lat, lon float64) (r, c int) {
+	fr := 0.0
+	if m.latHi > m.latLo {
+		fr = (m.latHi - lat) / (m.latHi - m.latLo)
+	}
+	fc := 0.0
+	if m.lonHi > m.lonLo {
+		fc = (lon - m.lonLo) / (m.lonHi - m.lonLo)
+	}
+	r = int(fr * float64(m.Rows-1))
+	c = int(fc * float64(m.Cols-1))
+	return r, c
+}
+
+// Mark plots every point, using '#' for indices where marked returns
+// true and '.' otherwise ('#' wins when both fall in one cell).
+func (m *GridMap) Mark(lat, lon []float64, marked func(i int) bool) {
+	for i := range lat {
+		r, c := m.cell(lat[i], lon[i])
+		if marked(i) {
+			m.cells[r][c] = '#'
+		} else if m.cells[r][c] != '#' {
+			m.cells[r][c] = '.'
+		}
+	}
+}
+
+// CountMarked returns how many cells currently render as '#'.
+func (m *GridMap) CountMarked() int {
+	n := 0
+	for _, row := range m.cells {
+		for _, ch := range row {
+			if ch == '#' {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Render draws the map with a border.
+func (m *GridMap) Render() string {
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", m.Cols) + "+\n")
+	for _, row := range m.cells {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", m.Cols) + "+\n")
+	return b.String()
+}
+
+// BarCompare renders observed-vs-expected pairs as horizontal bars —
+// the ASCII analogue of Figs. 5/8a/10. Bars are scaled to the largest
+// absolute value; 'o' marks observed, 'e' expected.
+func BarCompare(names []string, observed, expected []float64, width int) string {
+	if len(names) != len(observed) || len(names) != len(expected) {
+		panic("viz: BarCompare length mismatch")
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxAbs := 0.0
+	for i := range observed {
+		maxAbs = math.Max(maxAbs, math.Abs(observed[i]))
+		maxAbs = math.Max(maxAbs, math.Abs(expected[i]))
+	}
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	for i, n := range names {
+		line := []byte(strings.Repeat(" ", width))
+		pos := func(v float64) int {
+			if maxAbs == 0 {
+				return 0
+			}
+			p := int(math.Abs(v) / maxAbs * float64(width-1))
+			return p
+		}
+		pe, po := pos(expected[i]), pos(observed[i])
+		for k := 0; k <= pe; k++ {
+			line[k] = '-'
+		}
+		line[pe] = 'e'
+		line[po] = 'o'
+		fmt.Fprintf(&b, "%-*s |%s| obs %.3g exp %.3g\n", nameW, n, line, observed[i], expected[i])
+	}
+	return b.String()
+}

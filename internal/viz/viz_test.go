@@ -1,0 +1,118 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDensityPlotShape(t *testing.T) {
+	p := NewDensityPlot(20, 6)
+	ys := make([]float64, 20)
+	ys[10] = 1.0 // single peak
+	p.Add(ys, '#')
+	out := p.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // 6 rows + axis
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+	for _, l := range lines[:6] {
+		if len(l) != 20 {
+			t.Fatalf("row width %d", len(l))
+		}
+	}
+	// The peak column must be filled to the top row.
+	if lines[0][10] != '#' {
+		t.Fatalf("peak not at top: %q", lines[0])
+	}
+	// Zero columns must stay blank above the baseline row.
+	if lines[0][0] == '#' {
+		t.Fatal("empty column should not reach the top")
+	}
+}
+
+func TestDensityPlotOverlayOrder(t *testing.T) {
+	p := NewDensityPlot(4, 3)
+	a := []float64{1, 1, 1, 1}
+	b := []float64{1, 0, 0, 0}
+	p.Add(a, '#')
+	p.Add(b, '*')
+	out := p.Render()
+	// Later series overdraw: column 0 should show '*'.
+	lines := strings.Split(out, "\n")
+	if lines[0][0] != '*' {
+		t.Fatalf("overlay order wrong: %q", lines[0])
+	}
+	if lines[0][1] != '#' {
+		t.Fatalf("first series erased: %q", lines[0])
+	}
+}
+
+func TestDensityPlotValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong series length")
+		}
+	}()
+	p := NewDensityPlot(5, 3)
+	p.Add([]float64{1, 2}, '#')
+}
+
+func TestGridMapMarksAndCounts(t *testing.T) {
+	lat := []float64{0, 0, 10, 10}
+	lon := []float64{0, 10, 0, 10}
+	m := NewGridMap(5, 5, lat, lon)
+	m.Mark(lat, lon, func(i int) bool { return i == 3 })
+	if got := m.CountMarked(); got != 1 {
+		t.Fatalf("CountMarked = %d", got)
+	}
+	out := m.Render()
+	// Point 3 is (lat 10, lon 10) → top-right cell.
+	lines := strings.Split(out, "\n")
+	if lines[1][5] != '#' { // row 1 col 5: inside the border
+		t.Fatalf("marked cell wrong:\n%s", out)
+	}
+	// Point 0 is (lat 0, lon 0) → bottom-left, unmarked.
+	if lines[5][1] != '.' {
+		t.Fatalf("unmarked cell wrong:\n%s", out)
+	}
+	// Borders drawn.
+	if !strings.HasPrefix(out, "+-----+") {
+		t.Fatalf("missing border:\n%s", out)
+	}
+}
+
+func TestGridMapMarkedWinsSharedCell(t *testing.T) {
+	lat := []float64{0, 0, 5}
+	lon := []float64{0, 0, 5}
+	m := NewGridMap(3, 3, lat, lon)
+	m.Mark(lat, lon, func(i int) bool { return i == 0 })
+	// Points 0 and 1 share a cell; '#' must win regardless of order.
+	if m.CountMarked() != 1 {
+		t.Fatalf("CountMarked = %d", m.CountMarked())
+	}
+}
+
+func TestBarCompare(t *testing.T) {
+	out := BarCompare([]string{"alpha", "b"}, []float64{2, -1}, []float64{1, -1}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "o") || !strings.Contains(lines[0], "e") {
+		t.Fatalf("markers missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "obs 2") || !strings.Contains(lines[0], "exp 1") {
+		t.Fatalf("values missing: %q", lines[0])
+	}
+	// Name column aligned.
+	if !strings.HasPrefix(lines[1], "b     ") {
+		t.Fatalf("name alignment: %q", lines[1])
+	}
+}
+
+func TestBarCompareZeroValues(t *testing.T) {
+	out := BarCompare([]string{"x"}, []float64{0}, []float64{0}, 15)
+	if !strings.Contains(out, "obs 0") {
+		t.Fatalf("zero rendering broken: %q", out)
+	}
+}

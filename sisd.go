@@ -1,0 +1,155 @@
+package sisd
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/mat"
+	"repro/internal/pattern"
+	"repro/internal/search"
+	"repro/internal/si"
+	"repro/internal/spreadopt"
+)
+
+// Core data model.
+type (
+	// Dataset bundles typed description attributes with the real-valued
+	// target matrix.
+	Dataset = dataset.Dataset
+	// Column is one description attribute.
+	Column = dataset.Column
+	// Kind classifies a description attribute (Numeric, Ordinal,
+	// Categorical or Binary).
+	Kind = dataset.Kind
+)
+
+// Description attribute kinds.
+const (
+	Numeric     = dataset.Numeric
+	Ordinal     = dataset.Ordinal
+	Categorical = dataset.Categorical
+	Binary      = dataset.Binary
+)
+
+// Pattern syntax.
+type (
+	// Condition is a single condition on one description attribute.
+	Condition = pattern.Condition
+	// Intention is a conjunction of conditions describing a subgroup.
+	Intention = pattern.Intention
+	// LocationPattern is an intention plus the subgroup's target mean.
+	LocationPattern = pattern.Location
+	// SpreadPattern is an intention plus a unit direction in target
+	// space and the subgroup's variance along it.
+	SpreadPattern = pattern.Spread
+	// Op is a condition operator (LE, GE, EQ).
+	Op = pattern.Op
+)
+
+// Condition operators.
+const (
+	LE = pattern.LE
+	GE = pattern.GE
+	EQ = pattern.EQ
+	NE = pattern.NE
+)
+
+// Mining engine.
+type (
+	// Miner is the iterative subgroup discovery engine.
+	Miner = core.Miner
+	// Config bundles all mining parameters.
+	Config = core.Config
+	// IterationResult is the outcome of one full mining iteration.
+	IterationResult = core.IterationResult
+	// AttrExplanation compares a subgroup's observed target mean to the
+	// background expectation, one target attribute at a time.
+	AttrExplanation = core.AttrExplanation
+	// SearchParams configure the beam search (width, depth, top-k, time
+	// budget).
+	SearchParams = search.Params
+	// SearchResults is the log of a beam search (the top-k patterns).
+	SearchResults = search.Results
+	// SpreadParams configure the spread-direction optimizer.
+	SpreadParams = spreadopt.Params
+	// SIParams hold the description-length coefficients γ and η.
+	SIParams = si.Params
+	// Vec is a dense vector of float64 (target-space points and
+	// directions).
+	Vec = mat.Vec
+)
+
+// NewMiner builds a miner over the dataset. Zero-valued Config fields
+// get the paper's defaults: empirical prior, γ=0.1, η=1, beam width 40,
+// depth 4, top-150 log, 4 percentile split points.
+func NewMiner(ds *Dataset, cfg Config) (*Miner, error) {
+	return core.NewMiner(ds, cfg)
+}
+
+// OptimalResult is the outcome of the exact single-target search.
+type OptimalResult = search.OptimalResult
+
+// FoundPattern is one scored subgroup in a search log.
+type FoundPattern = search.Found
+
+// DiverseTopK selects up to k patterns from a search log such that no
+// two extensions overlap by more than maxJaccard — a cheap portfolio of
+// distinct subgroups from a single search (iterative Commit-based
+// mining remains the principled non-redundancy mechanism).
+func DiverseTopK(res *SearchResults, k int, maxJaccard float64) []FoundPattern {
+	return search.DiverseTopK(res, k, maxJaccard)
+}
+
+// MineOptimalLocation1D finds the location pattern with globally
+// maximal SI for a dataset with a single real-valued target, under a
+// fresh background model with prior N(mu, sigma2), using branch-and-
+// bound with a tight optimistic estimate — the exact search the paper
+// leaves as future work (§V). Exponential in the worst case but heavily
+// pruned in practice; beam search remains the default for large data.
+func MineOptimalLocation1D(ds *Dataset, mu, sigma2 float64, p SIParams,
+	maxDepth, numSplits, minSupport int) *OptimalResult {
+	return search.OptimalLocation1D(ds, mu, sigma2, p, maxDepth, numSplits, minSupport)
+}
+
+// DefaultSIParams returns the paper's description-length coefficients
+// (γ=0.1, η=1).
+func DefaultSIParams() SIParams { return si.Default() }
+
+// ReadCSV parses a dataset from CSV with "name:role:kind" headers (see
+// Dataset.WriteCSV for the format).
+func ReadCSV(r io.Reader) (*Dataset, error) { return dataset.ReadCSV(r) }
+
+// ReadARFF parses a Weka/Cortana-style ARFF file; the attributes named
+// in targets become the real-valued target columns, everything else a
+// descriptor. The paper's original tooling (Cortana) consumes ARFF, so
+// its datasets can be used directly.
+func ReadARFF(r io.Reader, targets []string) (*Dataset, error) {
+	return dataset.ReadARFF(r, targets)
+}
+
+// The dataset replicas used in the paper's evaluation (§III). All are
+// deterministic in the seed; see DESIGN.md §3 for what each replica
+// preserves of the original data.
+
+// GenerateSynthetic builds the §III-A synthetic dataset: 620 points,
+// two targets, three embedded 40-point clusters labeled by binary
+// descriptors a3–a5 (a6, a7 are noise).
+func GenerateSynthetic(seed int64) *Dataset { return gen.Synthetic620(seed).DS }
+
+// GenerateCrimeLike builds the Communities & Crime replica
+// (1994×122×1).
+func GenerateCrimeLike(seed int64) *Dataset { return gen.CrimeLike(seed).DS }
+
+// GenerateMammalsLike builds the European mammals atlas replica
+// (2220×67×124).
+func GenerateMammalsLike(seed int64) *Dataset { return gen.MammalsLike(seed).DS }
+
+// GenerateSocioEconLike builds the German socio-economics replica
+// (412×13×5).
+func GenerateSocioEconLike(seed int64) *Dataset { return gen.SocioEconLike(seed).DS }
+
+// GenerateWaterQualityLike builds the river water quality replica
+// (1060×14×16).
+func GenerateWaterQualityLike(seed int64) *Dataset { return gen.WaterQualityLike(seed).DS }

@@ -1,0 +1,133 @@
+package sisd_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	sisd "repro"
+)
+
+// TestEndToEndIterativeMining exercises the full public API: generate
+// data, mine iteratively, commit, explain.
+func TestEndToEndIterativeMining(t *testing.T) {
+	ds := sisd.GenerateSynthetic(620)
+	m, err := sisd.NewMiner(ds, sisd.Config{
+		SI:     sisd.SIParams{Gamma: 0.5, Eta: 1},
+		Search: sisd.SearchParams{MaxDepth: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevSI float64 = math.Inf(1)
+	seen := map[string]bool{}
+	for iter := 0; iter < 3; iter++ {
+		res, err := m.Step(true)
+		if err != nil {
+			t.Fatalf("Step %d: %v", iter, err)
+		}
+		loc := res.Location
+		key := loc.Intention.Key()
+		if seen[key] {
+			t.Fatalf("pattern %s returned twice", loc.Intention.Format(ds))
+		}
+		seen[key] = true
+		if loc.SI <= 0 {
+			t.Fatalf("SI = %v", loc.SI)
+		}
+		// Later iterations are at most as interesting as earlier ones:
+		// the model absorbs each pattern.
+		if loc.SI > prevSI+1e-9 {
+			t.Fatalf("SI increased across iterations: %v -> %v", prevSI, loc.SI)
+		}
+		prevSI = loc.SI
+		if res.Spread == nil {
+			t.Fatal("missing spread pattern")
+		}
+		expl, err := m.ExplainLocation(loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(expl) != ds.Dy() {
+			t.Fatalf("explanations = %d", len(expl))
+		}
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	ds := sisd.GenerateSocioEconLike(412)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sisd.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != ds.N() || got.Dx() != ds.Dx() || got.Dy() != ds.Dy() {
+		t.Fatal("round trip changed dimensions")
+	}
+}
+
+func TestScoreIntentionAPI(t *testing.T) {
+	ds := sisd.GenerateSynthetic(620)
+	m, err := sisd.NewMiner(ds, sisd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sisd.Intention{{Attr: 0, Op: sisd.EQ, Level: 1}}
+	loc, err := m.ScoreLocationIntention(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Size() != 40 {
+		t.Fatalf("a3='1' size = %d", loc.Size())
+	}
+	if loc.SI <= 0 {
+		t.Fatalf("SI = %v", loc.SI)
+	}
+}
+
+func TestGeneratorsShapes(t *testing.T) {
+	cases := []struct {
+		name      string
+		ds        *sisd.Dataset
+		n, dx, dy int
+	}{
+		{"synthetic", sisd.GenerateSynthetic(1), 620, 5, 2},
+		{"crime", sisd.GenerateCrimeLike(1), 1994, 122, 1},
+		{"mammals", sisd.GenerateMammalsLike(1), 2220, 67, 124},
+		{"socio", sisd.GenerateSocioEconLike(1), 412, 13, 5},
+		{"water", sisd.GenerateWaterQualityLike(1), 1060, 14, 16},
+	}
+	for _, c := range cases {
+		if c.ds.N() != c.n || c.ds.Dx() != c.dx || c.ds.Dy() != c.dy {
+			t.Fatalf("%s dims = %d/%d/%d, want %d/%d/%d",
+				c.name, c.ds.N(), c.ds.Dx(), c.ds.Dy(), c.n, c.dx, c.dy)
+		}
+		if err := c.ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestTimeBudget(t *testing.T) {
+	// The paper supports "stop after N minutes"; the public API must
+	// honor a deadline without erroring.
+	ds := sisd.GenerateCrimeLike(2)
+	m, err := sisd.NewMiner(ds, sisd.Config{
+		Search: sisd.SearchParams{MaxDepth: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous deadline lets at least level 1 finish.
+	m.Cfg.Search.Deadline = timeNowPlusMillis(1500)
+	loc, log, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc == nil || log == nil {
+		t.Fatal("no result under deadline")
+	}
+}
