@@ -28,9 +28,11 @@ func main() {
 		iters    = flag.Int("tableII-iters", 20, "iterations for the Table II runtime experiment")
 		mammals  = flag.Bool("tableII-mammals", true, "include the dy=124 mammals column in Table II")
 		fig3Reps = flag.Int("fig3-repeats", 3, "noise repetitions per distortion level in Fig. 3")
+		parallel = flag.Int("parallel", 0, "candidate-evaluation workers per beam search (0 = all cores)")
 		quick    = flag.Bool("quick", false, "smaller search settings everywhere (for smoke runs)")
 	)
 	flag.Parse()
+	experiments.Parallelism = *parallel
 
 	want := map[string]bool{}
 	for _, n := range strings.Split(strings.ToLower(*run), ",") {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -41,6 +42,7 @@ func main() {
 		topk     = flag.Int("topk", 150, "search log size")
 		minsup   = flag.Int("minsupport", 2, "minimum subgroup size")
 		splits   = flag.Int("splits", 4, "percentile split points per numeric attribute")
+		parallel = flag.Int("parallel", 0, "candidate-evaluation workers (0 = all cores)")
 		timeout  = flag.Duration("timeout", 0, "search time budget per iteration (0 = none)")
 		explain  = flag.Int("explain", 5, "print the k most surprising target attributes per pattern (0 = off)")
 		optimal  = flag.Bool("optimal", false, "single-target datasets only: find the globally optimal first pattern by branch-and-bound instead of beam search")
@@ -58,7 +60,7 @@ func main() {
 		SI: sisd.SIParams{Gamma: *gamma, Eta: *eta},
 		Search: sisd.SearchParams{
 			BeamWidth: *beam, MaxDepth: *depth, TopK: *topk,
-			MinSupport: *minsup, NumSplits: *splits,
+			MinSupport: *minsup, NumSplits: *splits, Parallelism: *parallel,
 		},
 		Spread: sisd.SpreadParams{PairSparse: *pair},
 	}
@@ -95,6 +97,9 @@ func main() {
 		}
 		loc, logRes, err := m.MineLocation()
 		if err != nil {
+			if errors.Is(err, sisd.ErrNoPattern) && logRes != nil && logRes.TimedOut {
+				log.Fatalf("iteration %d: -timeout %v expired before any candidate was scored; increase the budget", it, *timeout)
+			}
 			log.Fatalf("iteration %d: %v", it, err)
 		}
 		fmt.Printf("\n=== iteration %d (evaluated %d candidates", it, logRes.Evaluated)

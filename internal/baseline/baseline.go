@@ -7,7 +7,8 @@
 // the Fig. 3 noise experiment.
 //
 // All scorers implement search.Scorer, so they run on the same beam
-// engine as the SI measure.
+// engine as the SI measure; the exact searches enumerate through the
+// shared engine.Language chassis.
 package baseline
 
 import (
@@ -17,6 +18,7 @@ import (
 	"repro/internal/background"
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/mat"
 	"repro/internal/pattern"
 	"repro/internal/randx"
@@ -145,7 +147,12 @@ type ImpactResult struct {
 // column j, exactly, using the tight optimistic estimate of Boley et
 // al.: for any refinement J ⊆ I, q(J) ≤ max_k (k/n)·(top-k mean of y in
 // I − µ₀), evaluated by scanning I's target values in decreasing order.
+// Non-positive arguments mean the paper defaults (depth 4, 4 splits,
+// support 2).
 func BranchAndBoundImpact(ds *dataset.Dataset, j, maxDepth, numSplits, minSupport int) *ImpactResult {
+	if maxDepth <= 0 {
+		maxDepth = 4
+	}
 	if numSplits <= 0 {
 		numSplits = 4
 	}
@@ -155,27 +162,19 @@ func BranchAndBoundImpact(ds *dataset.Dataset, j, maxDepth, numSplits, minSuppor
 	y := ds.TargetColumn(j)
 	mu0 := stats.Mean(y)
 	n := ds.N()
-
-	conds := pattern.AllConditions(ds, numSplits)
-	condExts := make([]*bitset.Set, len(conds))
-	for i, c := range conds {
-		condExts[i] = c.Extension(ds)
-	}
+	lang := engine.LanguageFor(ds, numSplits)
 
 	res := &ImpactResult{Quality: math.Inf(-1)}
-	quality := func(ext *bitset.Set) (float64, int) {
-		cnt := ext.Count()
-		if cnt == 0 {
-			return math.Inf(-1), 0
-		}
-		var sum float64
-		ext.ForEach(func(i int) { sum += y[i] })
-		return float64(cnt) / float64(n) * (sum/float64(cnt) - mu0), cnt
-	}
+	// Reusable buffers for the optimistic estimate.
+	var idxBuf []int
+	var vals []float64
 	// Tight optimistic estimate: best over prefixes of the sorted values.
 	optimistic := func(ext *bitset.Set) float64 {
-		vals := make([]float64, 0, ext.Count())
-		ext.ForEach(func(i int) { vals = append(vals, y[i]) })
+		idxBuf = ext.IterateInto(idxBuf[:0])
+		vals = vals[:0]
+		for _, i := range idxBuf {
+			vals = append(vals, y[i])
+		}
 		sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
 		best := math.Inf(-1)
 		var sum float64
@@ -189,38 +188,38 @@ func BranchAndBoundImpact(ds *dataset.Dataset, j, maxDepth, numSplits, minSuppor
 		return best
 	}
 
-	var recurse func(start int, intent pattern.Intention, ext *bitset.Set)
-	recurse = func(start int, intent pattern.Intention, ext *bitset.Set) {
-		for i := start; i < len(conds); i++ {
-			next := ext.And(condExts[i])
-			cnt := next.Count()
-			if cnt < minSupport {
-				continue
-			}
-			res.Explored++
-			in := intent.Extend(conds[i])
-			q, _ := quality(next)
-			if q > res.Quality {
-				res.Quality = q
-				res.Intention = in
-				res.Extension = next
-			}
-			if len(in) < maxDepth {
-				if optimistic(next) <= res.Quality {
-					res.Pruned++
-					continue
-				}
-				recurse(i+1, in, next)
-			}
+	lang.Enumerate(engine.EnumOptions{
+		MaxDepth:   maxDepth,
+		MinSupport: minSupport,
+	}, func(ids []engine.CondID, ext *bitset.Set, size int) bool {
+		res.Explored++
+		var sum float64
+		ext.ForEach(func(i int) { sum += y[i] })
+		q := float64(size) / float64(n) * (sum/float64(size) - mu0)
+		if q > res.Quality {
+			res.Quality = q
+			res.Intention = lang.Intention(ids)
+			res.Extension = ext.Clone()
 		}
-	}
-	recurse(0, nil, bitset.Full(n))
+		if len(ids) >= maxDepth {
+			return false
+		}
+		if optimistic(ext) <= res.Quality {
+			res.Pruned++
+			return false
+		}
+		return true
+	})
 	return res
 }
 
 // ExhaustiveImpact computes the same optimum without pruning, as the
-// test oracle for the branch-and-bound.
+// test oracle for the branch-and-bound. Non-positive arguments mean the
+// same defaults as BranchAndBoundImpact.
 func ExhaustiveImpact(ds *dataset.Dataset, j, maxDepth, numSplits, minSupport int) *ImpactResult {
+	if maxDepth <= 0 {
+		maxDepth = 4
+	}
 	if numSplits <= 0 {
 		numSplits = 4
 	}
@@ -230,36 +229,23 @@ func ExhaustiveImpact(ds *dataset.Dataset, j, maxDepth, numSplits, minSupport in
 	y := ds.TargetColumn(j)
 	mu0 := stats.Mean(y)
 	n := ds.N()
-	conds := pattern.AllConditions(ds, numSplits)
-	condExts := make([]*bitset.Set, len(conds))
-	for i, c := range conds {
-		condExts[i] = c.Extension(ds)
-	}
+	lang := engine.LanguageFor(ds, numSplits)
 	res := &ImpactResult{Quality: math.Inf(-1)}
-	var recurse func(start int, intent pattern.Intention, ext *bitset.Set)
-	recurse = func(start int, intent pattern.Intention, ext *bitset.Set) {
-		for i := start; i < len(conds); i++ {
-			next := ext.And(condExts[i])
-			cnt := next.Count()
-			if cnt < minSupport {
-				continue
-			}
-			res.Explored++
-			in := intent.Extend(conds[i])
-			var sum float64
-			next.ForEach(func(r int) { sum += y[r] })
-			q := float64(cnt) / float64(n) * (sum/float64(cnt) - mu0)
-			if q > res.Quality {
-				res.Quality = q
-				res.Intention = in
-				res.Extension = next
-			}
-			if len(in) < maxDepth {
-				recurse(i+1, in, next)
-			}
+	lang.Enumerate(engine.EnumOptions{
+		MaxDepth:   maxDepth,
+		MinSupport: minSupport,
+	}, func(ids []engine.CondID, ext *bitset.Set, size int) bool {
+		res.Explored++
+		var sum float64
+		ext.ForEach(func(r int) { sum += y[r] })
+		q := float64(size) / float64(n) * (sum/float64(size) - mu0)
+		if q > res.Quality {
+			res.Quality = q
+			res.Intention = lang.Intention(ids)
+			res.Extension = ext.Clone()
 		}
-	}
-	recurse(0, nil, bitset.Full(n))
+		return true
+	})
 	return res
 }
 

@@ -92,6 +92,24 @@ func AndInto(dst, s, t *Set) {
 	}
 }
 
+// AndCountInto sets dst = s ∩ t and returns the number of set bits, in
+// a single pass over the words. Same capacity and aliasing rules as
+// AndInto. This is the inner kernel of the candidate-evaluation engine:
+// the intersection and the support test of a candidate subgroup cost
+// one traversal and zero allocations.
+func AndCountInto(dst, s, t *Set) int {
+	if dst.n != s.n || s.n != t.n {
+		panic("bitset: capacity mismatch")
+	}
+	c := 0
+	for i := range dst.words {
+		w := s.words[i] & t.words[i]
+		dst.words[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
 // And returns s ∩ t as a new bitset.
 func (s *Set) And(t *Set) *Set {
 	out := New(s.n)
@@ -159,11 +177,25 @@ func (s *Set) ForEach(fn func(i int)) {
 	}
 }
 
+// IterateInto appends the set indices in increasing order to buf and
+// returns the extended slice. Passing buf[:0] of a reusable slice makes
+// repeated index extraction allocation-free once the buffer has grown
+// to the working-set size (the optimistic-estimate loops of the exact
+// searches call this once per search node).
+func (s *Set) IterateInto(buf []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			buf = append(buf, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return buf
+}
+
 // Indices returns the set indices in increasing order.
 func (s *Set) Indices() []int {
-	out := make([]int, 0, s.Count())
-	s.ForEach(func(i int) { out = append(out, i) })
-	return out
+	return s.IterateInto(make([]int, 0, s.Count()))
 }
 
 // FromIndices builds a bitset of capacity n containing exactly idx.

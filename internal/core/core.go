@@ -30,7 +30,10 @@ type Config struct {
 	// SI holds the description length coefficients (γ, η).
 	SI si.Params
 	// Search configures the beam (width 40, depth 4, top-150, 4 split
-	// points — the paper's Cortana settings).
+	// points — the paper's Cortana settings) and the evaluation-engine
+	// options threaded through to internal/engine: Parallelism bounds
+	// the scoring workers (and scratch bitsets) per search, Deadline
+	// caps each search's wall time.
 	Search search.Params
 	// Spread configures the direction optimizer.
 	Spread spreadopt.Params
@@ -118,7 +121,9 @@ func (m *Miner) Reset() error {
 
 // MineLocation runs the beam search under the current background model
 // and returns the best location pattern plus the full search log
-// (top-K patterns, the paper logs 150).
+// (top-K patterns, the paper logs 150). On ErrNoPattern the log is
+// still returned so callers can distinguish an exhausted search from
+// one whose deadline expired before anything was scored.
 func (m *Miner) MineLocation() (*pattern.Location, *search.Results, error) {
 	scorer, err := si.NewLocationScorer(m.Model, m.DS.Y, m.Cfg.SI)
 	if err != nil {
@@ -127,7 +132,7 @@ func (m *Miner) MineLocation() (*pattern.Location, *search.Results, error) {
 	res := search.Beam(m.DS, scorer, m.Cfg.Search)
 	top := res.Top()
 	if top == nil {
-		return nil, nil, ErrNoPattern
+		return nil, res, ErrNoPattern
 	}
 	return m.foundToLocation(*top), res, nil
 }

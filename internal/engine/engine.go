@@ -1,0 +1,354 @@
+// Package engine owns the candidate-evaluation pipeline shared by
+// every subgroup search strategy: the beam search, the exhaustive
+// oracle, the optimal branch-and-bound and the baseline quality
+// searches all score candidates through this package.
+//
+// The pipeline is built to keep the steady-state hot path free of
+// allocations: condition extensions are precomputed per dataset and
+// cached (Language), each evaluation worker intersects into a pooled
+// scratch bitset (bitset.AndCountInto) and only materializes an
+// extension for candidates that survive support and scoring,
+// intentions are canonical ascending condition-ID slices deduplicated
+// by integer hash (no string keys), and result logs are bounded top-k
+// heaps rather than sort-and-truncate over the whole level.
+package engine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/mat"
+)
+
+// Scorer evaluates a candidate subgroup extension described by numConds
+// conditions. ok=false rejects the candidate (too small, degenerate...).
+// Implementations must be safe for concurrent use and must not retain
+// ext, which is worker-owned scratch.
+type Scorer interface {
+	Score(ext *bitset.Set, numConds int) (si, ic float64, mean mat.Vec, ok bool)
+}
+
+// Options configure an Evaluator.
+type Options struct {
+	Parallelism int       // worker goroutines (default GOMAXPROCS)
+	MinSupport  int       // minimum subgroup size (default 2)
+	Deadline    time.Time // zero means no time budget
+}
+
+func (o Options) withDefaults() Options {
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.MinSupport <= 0 {
+		o.MinSupport = 2
+	}
+	return o
+}
+
+// Candidate is one unscored subgroup refinement: the parent's extension
+// and the condition to intersect it with. Ids is the candidate's full
+// canonical intention (ascending CondIDs, including Cond).
+type Candidate struct {
+	Parent *bitset.Set
+	Cond   CondID
+	Ids    []CondID
+}
+
+// Scored is one accepted (supported, scoreable) candidate. Ext is an
+// independent copy, safe to keep as a beam parent or result.
+type Scored struct {
+	Ids    []CondID
+	Ext    *bitset.Set
+	Size   int
+	SI, IC float64
+	Mean   mat.Vec
+}
+
+// better is the engine's total order on scored candidates: SI
+// descending, canonical intention ascending as the deterministic
+// tiebreak. Every strategy ranks with this one ordering, so beam,
+// exhaustive and heap-based logs agree on ties.
+func better(aSI float64, aIds []CondID, bSI float64, bIds []CondID) bool {
+	if aSI != bSI {
+		return aSI > bSI
+	}
+	return lessIDs(aIds, bIds)
+}
+
+// lessIDs compares canonical ID slices lexicographically.
+func lessIDs(a, b []CondID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Evaluator scores batches of candidates against one Language and
+// Scorer, reusing per-worker scratch bitsets across batches. An
+// Evaluator is cheap to create per search; it must not be shared
+// between concurrent searches.
+type Evaluator struct {
+	lang    *Language
+	sc      Scorer
+	opt     Options
+	scratch []*bitset.Set
+}
+
+// NewEvaluator builds an evaluator over the language.
+func NewEvaluator(lang *Language, sc Scorer, opt Options) *Evaluator {
+	opt = opt.withDefaults()
+	scratch := make([]*bitset.Set, opt.Parallelism)
+	for i := range scratch {
+		scratch[i] = bitset.New(lang.DS.N())
+	}
+	return &Evaluator{lang: lang, sc: sc, opt: opt, scratch: scratch}
+}
+
+// EvaluateBatch scores all candidates in parallel and returns the
+// accepted ones sorted by the engine ordering (SI descending,
+// deterministic regardless of scheduling). Rejected candidates — below
+// MinSupport or refused by the scorer — cost no allocations.
+//
+// When the evaluator's Deadline expires mid-batch the whole batch is
+// abandoned and timedOut is true with a nil result: a partial level is
+// never returned, so completed results stay deterministic and a caller
+// treats an expired batch exactly like a deadline seen before it.
+func (e *Evaluator) EvaluateBatch(cands []Candidate) (kept []Scored, timedOut bool) {
+	out := make([]Scored, len(cands))
+	valid := make([]bool, len(cands))
+	checkDeadline := !e.opt.Deadline.IsZero()
+	var expired atomic.Bool
+
+	var wg sync.WaitGroup
+	chunk := (len(cands) + e.opt.Parallelism - 1) / e.opt.Parallelism
+	for w := 0; w < e.opt.Parallelism; w++ {
+		lo := w * chunk
+		if lo >= len(cands) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			scratch := e.scratch[w]
+			for i := lo; i < hi; i++ {
+				if checkDeadline && (i-lo)&63 == 0 {
+					if expired.Load() {
+						return
+					}
+					if time.Now().After(e.opt.Deadline) {
+						expired.Store(true)
+						return
+					}
+				}
+				c := &cands[i]
+				size := bitset.AndCountInto(scratch, c.Parent, e.lang.Exts[c.Cond])
+				if size < e.opt.MinSupport {
+					continue
+				}
+				si, ic, mean, ok := e.sc.Score(scratch, len(c.Ids))
+				if !ok {
+					continue
+				}
+				out[i] = Scored{
+					Ids:  c.Ids,
+					Ext:  scratch.Clone(),
+					Size: size,
+					SI:   si, IC: ic,
+					Mean: mean,
+				}
+				valid[i] = true
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if expired.Load() {
+		return nil, true
+	}
+
+	kept = out[:0] // filter in place; out's backing array is ours
+	for i := range out {
+		if valid[i] {
+			kept = append(kept, out[i])
+		}
+	}
+	SortScored(kept)
+	return kept, false
+}
+
+// SortScored sorts by the engine ordering: SI descending, canonical
+// intention ascending on ties.
+func SortScored(s []Scored) {
+	sort.Slice(s, func(i, j int) bool {
+		return better(s[i].SI, s[i].Ids, s[j].SI, s[j].Ids)
+	})
+}
+
+// Dedup tracks which canonical intentions have been generated, keyed by
+// a 64-bit integer hash of the ID slice with exact verification on the
+// (vanishingly rare) bucket collisions — replacing the former
+// map[string]bool over formatted intention keys, which allocated
+// several strings per candidate.
+type Dedup struct {
+	m map[uint64][][]CondID
+}
+
+// NewDedup returns an empty dedup table.
+func NewDedup() *Dedup {
+	return &Dedup{m: map[uint64][][]CondID{}}
+}
+
+func hashIDs(ids []CondID) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a 64
+	for _, id := range ids {
+		h ^= uint64(uint32(id))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Insert records the canonical intention ids if it is new, returning
+// the stored copy and whether it was fresh. ids may be scratch — it is
+// copied before being retained, and only for fresh intentions.
+func (d *Dedup) Insert(ids []CondID) ([]CondID, bool) {
+	h := hashIDs(ids)
+	for _, have := range d.m[h] {
+		if equalIDs(have, ids) {
+			return nil, false
+		}
+	}
+	stored := append([]CondID(nil), ids...)
+	d.m[h] = append(d.m[h], stored)
+	return stored, true
+}
+
+func equalIDs(a, b []CondID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InsertSorted writes parent's ascending IDs with id spliced in at its
+// sorted position into dst (typically a reusable scratch slice) and
+// returns it. parent must not already contain id.
+func InsertSorted(dst, parent []CondID, id CondID) []CondID {
+	dst = dst[:0]
+	i := 0
+	for ; i < len(parent) && parent[i] < id; i++ {
+		dst = append(dst, parent[i])
+	}
+	dst = append(dst, id)
+	return append(dst, parent[i:]...)
+}
+
+// ContainsID reports whether the ascending ID slice contains id.
+func ContainsID(ids []CondID, id CondID) bool {
+	for _, have := range ids {
+		if have == id {
+			return true
+		}
+		if have > id {
+			return false
+		}
+	}
+	return false
+}
+
+// TopK is a bounded result log: a min-heap on the engine ordering that
+// keeps the best k scored candidates ever added. Replaces the former
+// append-everything-then-sort-and-truncate merge, which re-sorted the
+// full log every level.
+type TopK struct {
+	k int
+	h []Scored // min-heap: h[0] is the worst retained item
+}
+
+// NewTopK returns an empty log bounded to k items (k ≤ 0 keeps
+// everything unbounded — not used by the strategies, but safe).
+func NewTopK(k int) *TopK {
+	return &TopK{k: k}
+}
+
+// worse reports whether h[i] ranks below h[j] (min-heap order).
+func (t *TopK) worse(i, j int) bool {
+	return better(t.h[j].SI, t.h[j].Ids, t.h[i].SI, t.h[i].Ids)
+}
+
+// WouldAccept reports whether an item with this score and intention
+// would enter the log. Callers use it to skip cloning extensions for
+// candidates that cannot make the cut.
+func (t *TopK) WouldAccept(si float64, ids []CondID) bool {
+	if t.k <= 0 || len(t.h) < t.k {
+		return true
+	}
+	return better(si, ids, t.h[0].SI, t.h[0].Ids)
+}
+
+// Add offers a scored candidate to the log.
+func (t *TopK) Add(s Scored) {
+	if t.k > 0 && len(t.h) == t.k {
+		if !better(s.SI, s.Ids, t.h[0].SI, t.h[0].Ids) {
+			return
+		}
+		t.h[0] = s
+		t.siftDown(0)
+		return
+	}
+	t.h = append(t.h, s)
+	t.siftUp(len(t.h) - 1)
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.worse(i, parent) {
+			return
+		}
+		t.h[i], t.h[parent] = t.h[parent], t.h[i]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(t.h) && t.worse(l, min) {
+			min = l
+		}
+		if r < len(t.h) && t.worse(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		t.h[i], t.h[min] = t.h[min], t.h[i]
+		i = min
+	}
+}
+
+// Len returns the number of retained items.
+func (t *TopK) Len() int { return len(t.h) }
+
+// Sorted drains the log, best first. The TopK must not be used after.
+func (t *TopK) Sorted() []Scored {
+	out := t.h
+	t.h = nil
+	SortScored(out)
+	return out
+}

@@ -1,0 +1,215 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/pattern"
+)
+
+// Language is the precomputed condition language of a dataset: the
+// elementary conditions of §II-A together with their extensions, built
+// once and shared by every search strategy, mining iteration and
+// session that works on the same dataset. Conditions are identified by
+// their ordinal index (a CondID), which is what the engine's dedup,
+// ordering and intention representation operate on — no string keys
+// anywhere on the hot path.
+type Language struct {
+	DS    *dataset.Dataset
+	Conds []pattern.Condition
+	Exts  []*bitset.Set
+}
+
+// CondID indexes a condition within its Language. Intentions are
+// represented as ascending CondID slices, which is a canonical form:
+// two intentions are equal iff their sorted ID slices are equal.
+type CondID = int32
+
+// NewLanguage enumerates the condition language of ds with numSplits
+// percentile split points per numeric attribute and materializes every
+// condition's extension.
+func NewLanguage(ds *dataset.Dataset, numSplits int) *Language {
+	conds := pattern.AllConditions(ds, numSplits)
+	exts := make([]*bitset.Set, len(conds))
+	for i, c := range conds {
+		exts[i] = c.Extension(ds)
+	}
+	return &Language{DS: ds, Conds: conds, Exts: exts}
+}
+
+// languageCache memoizes NewLanguage per (dataset, numSplits). Iterative
+// mining re-runs the search once per committed pattern and the server
+// mines repeatedly within a session, so rebuilding the extensions each
+// time is pure waste. The cache is bounded with least-recently-used
+// eviction once maxCachedLanguages distinct keys accumulate (sessions
+// on generated datasets would otherwise pin them all).
+const maxCachedLanguages = 32
+
+type langKey struct {
+	ds        *dataset.Dataset
+	numSplits int
+}
+
+var langCache = struct {
+	sync.Mutex
+	m     map[langKey]*Language
+	order []langKey // least recently used first
+}{m: map[langKey]*Language{}}
+
+// touch moves key to the most-recently-used end of the order. Must be
+// called with the cache lock held.
+func touchLangKey(key langKey) {
+	order := langCache.order
+	for i, k := range order {
+		if k == key {
+			copy(order[i:], order[i+1:])
+			order[len(order)-1] = key
+			return
+		}
+	}
+}
+
+// LanguageFor returns the (cached) condition language for ds. The
+// dataset must not be mutated after first use — the same assumption the
+// rest of the system already makes.
+func LanguageFor(ds *dataset.Dataset, numSplits int) *Language {
+	key := langKey{ds, numSplits}
+	langCache.Lock()
+	if l, ok := langCache.m[key]; ok {
+		touchLangKey(key)
+		langCache.Unlock()
+		return l
+	}
+	langCache.Unlock()
+	// Build outside the lock: extension materialization is O(n·|conds|)
+	// and must not serialize unrelated sessions.
+	l := NewLanguage(ds, numSplits)
+	langCache.Lock()
+	defer langCache.Unlock()
+	if have, ok := langCache.m[key]; ok { // lost the race; reuse winner
+		touchLangKey(key)
+		return have
+	}
+	if len(langCache.order) >= maxCachedLanguages {
+		oldest := langCache.order[0]
+		langCache.order = langCache.order[1:]
+		delete(langCache.m, oldest)
+	}
+	langCache.m[key] = l
+	langCache.order = append(langCache.order, key)
+	return l
+}
+
+// EvictLanguage drops every cached language built for ds, releasing
+// its per-condition extension bitsets. Callers that own a dataset's
+// lifecycle (e.g. the server dropping a session) should evict on
+// teardown so the bounded cache is not the only thing between a dead
+// dataset and the heap.
+func EvictLanguage(ds *dataset.Dataset) {
+	langCache.Lock()
+	defer langCache.Unlock()
+	keep := langCache.order[:0]
+	for _, k := range langCache.order {
+		if k.ds == ds {
+			delete(langCache.m, k)
+		} else {
+			keep = append(keep, k)
+		}
+	}
+	langCache.order = keep
+}
+
+// Intention materializes the pattern.Intention for a canonical ID
+// slice. Called only when a subgroup is actually reported, never per
+// candidate.
+func (l *Language) Intention(ids []CondID) pattern.Intention {
+	out := make(pattern.Intention, len(ids))
+	for i, id := range ids {
+		out[i] = l.Conds[id]
+	}
+	return out
+}
+
+// EnumOptions configure a depth-first enumeration of the language.
+type EnumOptions struct {
+	MaxDepth   int       // maximum conditions per conjunction (default 4)
+	MinSupport int       // minimum subgroup size (default 2)
+	Deadline   time.Time // zero means no time budget
+}
+
+func (o EnumOptions) withDefaults() EnumOptions {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 4
+	}
+	if o.MinSupport <= 0 {
+		o.MinSupport = 2
+	}
+	return o
+}
+
+// Enumerate walks every conjunction of up to MaxDepth distinct
+// conditions (each used at most once, order-free) in canonical
+// ascending-ID order, skipping nodes below MinSupport. It is the shared
+// chassis of the exact strategies: Exhaustive, the optimal-SI branch
+// and bound, and the baseline impact searches all differ only in their
+// visit callback.
+//
+// visit receives the node's canonical IDs, its extension and its size,
+// and returns whether to descend into the node's refinements (returning
+// false is how branch-and-bound prunes a subtree). Both ids and ext are
+// scratch storage owned by the enumeration — valid only during the
+// call; callers must copy (ext.Clone()) what they keep. The entire walk
+// performs no per-node allocations.
+//
+// Enumerate returns true if the deadline cut the walk short.
+func (l *Language) Enumerate(o EnumOptions, visit func(ids []CondID, ext *bitset.Set, size int) bool) (timedOut bool) {
+	o = o.withDefaults()
+	if o.MaxDepth > len(l.Conds) {
+		// Each condition is used at most once, so depth beyond the
+		// language size is unreachable — no point allocating scratch for it.
+		o.MaxDepth = len(l.Conds)
+	}
+	n := l.DS.N()
+	// One scratch extension per depth: the node at depth d writes
+	// scratch[d] and passes it down as the parent of depth d+1.
+	scratch := make([]*bitset.Set, o.MaxDepth)
+	for i := range scratch {
+		scratch[i] = bitset.New(n)
+	}
+	ids := make([]CondID, 0, o.MaxDepth)
+	checkDeadline := !o.Deadline.IsZero()
+	nodes := 0
+
+	var rec func(start int, parent *bitset.Set) bool
+	rec = func(start int, parent *bitset.Set) bool {
+		depth := len(ids)
+		for i := start; i < len(l.Conds); i++ {
+			if checkDeadline {
+				nodes++
+				if nodes&1023 == 0 && time.Now().After(o.Deadline) {
+					timedOut = true
+					return false
+				}
+			}
+			ext := scratch[depth]
+			size := bitset.AndCountInto(ext, parent, l.Exts[i])
+			if size < o.MinSupport {
+				continue
+			}
+			ids = append(ids, CondID(i))
+			descend := visit(ids, ext, size)
+			if descend && len(ids) < o.MaxDepth {
+				if !rec(i+1, ext) {
+					ids = ids[:len(ids)-1]
+					return false
+				}
+			}
+			ids = ids[:len(ids)-1]
+		}
+		return true
+	}
+	rec(0, bitset.Full(n))
+	return timedOut
+}

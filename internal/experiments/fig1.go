@@ -39,7 +39,7 @@ func Fig1Crime(seed int64, quick bool) (*Fig1Result, error) {
 		depth, gridN = 1, 21
 	}
 	m, err := core.NewMiner(cr.DS, core.Config{
-		Search: search.Params{MaxDepth: depth, BeamWidth: 20},
+		Search: searchParams(search.Params{MaxDepth: depth, BeamWidth: 20}),
 	})
 	if err != nil {
 		return nil, err

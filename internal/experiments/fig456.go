@@ -33,9 +33,9 @@ type MammalIteration struct {
 // tests.
 func Fig456Mammals(seed int64, quick bool) ([]MammalIteration, error) {
 	ma := gen.MammalsLike(seed)
-	sp := search.Params{MaxDepth: 2, BeamWidth: 10}
+	sp := searchParams(search.Params{MaxDepth: 2, BeamWidth: 10})
 	if quick {
-		sp = search.Params{MaxDepth: 1, BeamWidth: 5}
+		sp = searchParams(search.Params{MaxDepth: 1, BeamWidth: 5})
 	}
 	m, err := core.NewMiner(ma.DS, core.Config{Search: sp})
 	if err != nil {

@@ -37,7 +37,7 @@ type SocioIteration struct {
 func Fig78SocioEconomics(seed int64) ([]SocioIteration, error) {
 	so := gen.SocioEconLike(seed)
 	m, err := core.NewMiner(so.DS, core.Config{
-		Search: search.Params{MaxDepth: 2},
+		Search: searchParams(search.Params{MaxDepth: 2}),
 		Spread: spreadopt.Params{PairSparse: true},
 	})
 	if err != nil {

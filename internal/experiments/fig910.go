@@ -47,7 +47,7 @@ type WeightEntry struct {
 func Fig910Water(seed int64) (*WaterResult, error) {
 	wa := gen.WaterQualityLike(seed)
 	m, err := core.NewMiner(wa.DS, core.Config{
-		Search: search.Params{MaxDepth: 2, BeamWidth: 20},
+		Search: searchParams(search.Params{MaxDepth: 2, BeamWidth: 20}),
 	})
 	if err != nil {
 		return nil, err

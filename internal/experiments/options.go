@@ -1,0 +1,16 @@
+package experiments
+
+import "repro/internal/search"
+
+// Parallelism overrides the candidate-evaluation worker count of every
+// beam search run by the experiment drivers (0 = all cores). Set from
+// cmd/experiments' -parallel flag; useful to pin experiment runtimes to
+// a fixed core budget so Table II timings are comparable across runs.
+var Parallelism int
+
+// searchParams completes an experiment's search settings with the
+// package-level engine options.
+func searchParams(p search.Params) search.Params {
+	p.Parallelism = Parallelism
+	return p
+}

@@ -22,7 +22,7 @@ func syntheticMiner(seed int64) (*core.Miner, *gen.Synthetic, error) {
 	syn := gen.Synthetic620(seed)
 	m, err := core.NewMiner(syn.DS, core.Config{
 		SI:     tableIGamma,
-		Search: search.Params{MaxDepth: 3},
+		Search: searchParams(search.Params{MaxDepth: 3}),
 	})
 	return m, syn, err
 }
@@ -215,7 +215,10 @@ func Fig3Noise(seed int64, repeats int) ([]Fig3Point, error) {
 		repeats = 3
 	}
 	syn := gen.Synthetic620(seed)
-	m, err := core.NewMiner(syn.DS, core.Config{SI: tableIGamma})
+	m, err := core.NewMiner(syn.DS, core.Config{
+		SI:     tableIGamma,
+		Search: searchParams(search.Params{}),
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -62,7 +62,7 @@ type TableIIResult struct {
 // also what keeps the coordinate descent fast.
 func patternsForRuntime(ds *dataset.Dataset, iters int) ([]*bitset.Set, []mat.Vec, error) {
 	m, err := core.NewMiner(ds, core.Config{
-		Search: search.Params{MaxDepth: 2, BeamWidth: 20, TopK: 30 * iters},
+		Search: searchParams(search.Params{MaxDepth: 2, BeamWidth: 20, TopK: 30 * iters}),
 	})
 	if err != nil {
 		return nil, nil, err

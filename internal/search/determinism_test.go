@@ -1,0 +1,94 @@
+package search
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// dumpResults serializes a Results to a canonical byte form: every
+// float is written bit-exact, every extension as its index list, so two
+// dumps are equal iff the results are byte-identical.
+func dumpResults(res *Results) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "evaluated=%d levels=%d timedout=%v\n",
+		res.Evaluated, res.Levels, res.TimedOut)
+	for _, f := range res.Patterns {
+		fmt.Fprintf(&buf, "%s size=%d si=%016x ic=%016x ext=%v mean=[",
+			f.Intention.Key(), f.Size,
+			math.Float64bits(f.SI), math.Float64bits(f.IC),
+			f.Extension.Indices())
+		for _, v := range f.Mean {
+			_ = binary.Write(&buf, binary.LittleEndian, v)
+		}
+		buf.WriteString("]\n")
+	}
+	return buf.Bytes()
+}
+
+// TestBeamParallelismByteIdentical asserts that the engine's parallel
+// candidate evaluation is fully deterministic: the beam search on the
+// paper's synthetic dataset must return byte-identical Results whether
+// it runs on 1, 2 or 8 workers.
+func TestBeamParallelismByteIdentical(t *testing.T) {
+	ds := gen.Synthetic620(gen.SeedSynthetic).DS
+	sc := scorerFor(t, ds)
+	var want []byte
+	for _, par := range []int{1, 2, 8} {
+		res := Beam(ds, sc, Params{Parallelism: par})
+		got := dumpResults(res)
+		if want == nil {
+			want = got
+			if res.Top() == nil {
+				t.Fatal("no patterns found")
+			}
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Parallelism=%d results differ from Parallelism=1", par)
+		}
+	}
+}
+
+// TestExhaustiveLevelsReportsReachedDepth guards the fix for Levels
+// being reported as maxDepth even when the recursion never scored a
+// candidate that deep.
+func TestExhaustiveLevelsReportsReachedDepth(t *testing.T) {
+	ds := plantedDS(40, 11)
+	sc := scorerFor(t, ds)
+
+	// Generous depth limit, normal support: the planted dataset has few
+	// conditions, so depth is bounded by the number of distinct
+	// conditions that still meet MinSupport, not by maxDepth.
+	res := Exhaustive(ds, sc, 50, 4, 2, 10)
+	if res.Levels >= 50 {
+		t.Fatalf("Levels = %d parrots maxDepth instead of the reached depth", res.Levels)
+	}
+	if res.Levels <= 0 {
+		t.Fatalf("Levels = %d, want the deepest evaluated depth", res.Levels)
+	}
+	deepest := 0
+	for _, f := range res.Patterns {
+		if len(f.Intention) > deepest {
+			deepest = len(f.Intention)
+		}
+	}
+	if res.Levels < deepest {
+		t.Fatalf("Levels = %d but a depth-%d pattern was scored", res.Levels, deepest)
+	}
+
+	// A support threshold above the largest condition extension blocks
+	// every candidate: nothing is scored, so no level completes.
+	blocked := Exhaustive(ds, sc, 3, 4, ds.N()+1, 10)
+	if blocked.Levels != 0 {
+		t.Fatalf("Levels = %d with nothing evaluated, want 0", blocked.Levels)
+	}
+	if blocked.Evaluated != 0 || len(blocked.Patterns) != 0 {
+		t.Fatalf("expected empty results, got %d evaluated, %d patterns",
+			blocked.Evaluated, len(blocked.Patterns))
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/pattern"
 	"repro/internal/si"
 )
@@ -38,9 +39,9 @@ type OptimalResult struct {
 // least one extra condition, bounding its DL from below; the ratio of
 // the two bounds is an admissible optimistic SI for the whole subtree.
 //
-// The search enumerates condition sets like Exhaustive (each condition
-// used at most once, order-free), so the returned optimum is exact for
-// the same language.
+// The search enumerates condition sets through engine.Enumerate exactly
+// like Exhaustive (each condition used at most once, order-free), so
+// the returned optimum is exact for the same language.
 func OptimalLocation1D(ds *dataset.Dataset, mu, sigma2 float64, p si.Params,
 	maxDepth, numSplits, minSupport int) *OptimalResult {
 	if ds.Dy() != 1 {
@@ -59,12 +60,7 @@ func OptimalLocation1D(ds *dataset.Dataset, mu, sigma2 float64, p si.Params,
 		maxDepth = 4
 	}
 	y := ds.TargetColumn(0)
-	n := ds.N()
-	conds := pattern.AllConditions(ds, numSplits)
-	condExts := make([]*bitset.Set, len(conds))
-	for i, c := range conds {
-		condExts[i] = c.Extension(ds)
-	}
+	lang := engine.LanguageFor(ds, numSplits)
 
 	ic := func(k int, delta float64) float64 {
 		return 0.5*math.Log(2*math.Pi*sigma2/float64(k)) +
@@ -73,17 +69,29 @@ func OptimalLocation1D(ds *dataset.Dataset, mu, sigma2 float64, p si.Params,
 
 	res := &OptimalResult{SI: math.Inf(-1)}
 
+	// Reusable buffers for the optimistic estimate: the node's target
+	// values and their suffix sums. Zero allocations per node once grown.
+	var idxBuf []int
+	var vals, his []float64
+
 	// optimisticSI bounds the SI of every refinement of ext (which has
 	// numConds conditions and therefore refinements with ≥ numConds+1).
 	optimisticSI := func(ext *bitset.Set, numConds int) float64 {
-		vals := make([]float64, 0, ext.Count())
-		ext.ForEach(func(i int) { vals = append(vals, y[i]) })
+		idxBuf = ext.IterateInto(idxBuf[:0])
+		vals = vals[:0]
+		for _, i := range idxBuf {
+			vals = append(vals, y[i])
+		}
 		sort.Float64s(vals)
 		dlMin := p.DL(numConds+1, false)
 		best := math.Inf(-1)
 		// Prefix sums give the bottom-k means; suffix the top-k means.
 		var lo float64
-		his := make([]float64, len(vals)+1)
+		if cap(his) < len(vals)+1 {
+			his = make([]float64, len(vals)+1)
+		}
+		his = his[:len(vals)+1]
+		his[len(vals)] = 0
 		for i := len(vals) - 1; i >= 0; i-- {
 			his[i] = his[i+1] + vals[i]
 		}
@@ -102,38 +110,28 @@ func OptimalLocation1D(ds *dataset.Dataset, mu, sigma2 float64, p si.Params,
 		return best
 	}
 
-	evaluate := func(ext *bitset.Set, numConds int) (float64, float64) {
-		k := ext.Count()
+	lang.Enumerate(engine.EnumOptions{
+		MaxDepth:   maxDepth,
+		MinSupport: minSupport,
+	}, func(ids []engine.CondID, ext *bitset.Set, size int) bool {
+		res.Explored++
 		var sum float64
 		ext.ForEach(func(i int) { sum += y[i] })
-		icv := ic(k, sum/float64(k)-mu)
-		return icv / p.DL(numConds, false), icv
-	}
-
-	var recurse func(start int, intent pattern.Intention, ext *bitset.Set)
-	recurse = func(start int, intent pattern.Intention, ext *bitset.Set) {
-		for i := start; i < len(conds); i++ {
-			next := ext.And(condExts[i])
-			if next.Count() < minSupport {
-				continue
-			}
-			res.Explored++
-			in := intent.Extend(conds[i])
-			sv, icv := evaluate(next, len(in))
-			if sv > res.SI {
-				res.SI, res.IC = sv, icv
-				res.Intention = in
-				res.Extension = next
-			}
-			if len(in) < maxDepth {
-				if optimisticSI(next, len(in)) <= res.SI {
-					res.Pruned++
-					continue
-				}
-				recurse(i+1, in, next)
-			}
+		icv := ic(size, sum/float64(size)-mu)
+		sv := icv / p.DL(len(ids), false)
+		if sv > res.SI {
+			res.SI, res.IC = sv, icv
+			res.Intention = lang.Intention(ids)
+			res.Extension = ext.Clone()
 		}
-	}
-	recurse(0, nil, bitset.Full(n))
+		if len(ids) >= maxDepth {
+			return false
+		}
+		if optimisticSI(ext, len(ids)) <= res.SI {
+			res.Pruned++
+			return false
+		}
+		return true
+	})
 	return res
 }

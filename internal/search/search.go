@@ -5,28 +5,29 @@
 // experiments), and an exhaustive enumerator used as a test oracle and
 // for small datasets.
 //
-// The search is generic over a Scorer, so both the SI measure and the
-// baseline quality measures (package baseline) run on the same engine.
+// The strategies are thin drivers over the shared candidate-evaluation
+// pipeline of package engine: cached condition extensions, pooled
+// scratch bitsets, integer-hash intention dedup and bounded top-k
+// logs. The search is generic over a Scorer, so both the SI measure and
+// the baseline quality measures (package baseline) run on the same
+// engine.
 package search
 
 import (
-	"runtime"
-	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/mat"
 	"repro/internal/pattern"
 )
 
 // Scorer evaluates a candidate subgroup extension described by numConds
 // conditions. ok=false rejects the candidate (too small, degenerate...).
-// Implementations must be safe for concurrent use.
-type Scorer interface {
-	Score(ext *bitset.Set, numConds int) (si, ic float64, mean mat.Vec, ok bool)
-}
+// Implementations must be safe for concurrent use and must not retain
+// the extension, which is engine-owned scratch.
+type Scorer = engine.Scorer
 
 // Params configure the beam search. The zero value is completed by
 // sensible defaults matching the paper's experimental setup.
@@ -40,6 +41,9 @@ type Params struct {
 	Parallelism int       // worker goroutines (default GOMAXPROCS)
 }
 
+// withDefaults completes the strategy-level settings. The engine-level
+// ones (MinSupport, Parallelism) are deliberately left alone: their
+// defaults live in exactly one place, engine.Options/EnumOptions.
 func (p Params) withDefaults() Params {
 	if p.BeamWidth <= 0 {
 		p.BeamWidth = 40
@@ -52,12 +56,6 @@ func (p Params) withDefaults() Params {
 	}
 	if p.NumSplits <= 0 {
 		p.NumSplits = 4
-	}
-	if p.MinSupport <= 0 {
-		p.MinSupport = 2
-	}
-	if p.Parallelism <= 0 {
-		p.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return p
 }
@@ -74,7 +72,8 @@ type Found struct {
 // Results is the outcome of a search, sorted by SI descending.
 type Results struct {
 	Patterns []Found
-	// Evaluated counts scored candidates; Levels the completed depths.
+	// Evaluated counts scored candidates; Levels the deepest depth at
+	// which a candidate was actually evaluated.
 	Evaluated int
 	Levels    int
 	// TimedOut reports whether the deadline cut the search short.
@@ -89,45 +88,49 @@ func (r *Results) Top() *Found {
 	return &r.Patterns[0]
 }
 
-type candidate struct {
-	intention pattern.Intention
-	parentExt *bitset.Set
-	cond      pattern.Condition
-	condExt   *bitset.Set
-}
-
-type scored struct {
-	Found
-	key string
+// patterns converts a drained top-k log into the public result form,
+// materializing intentions only for the patterns actually reported.
+func patterns(lang *engine.Language, log []engine.Scored) []Found {
+	out := make([]Found, len(log))
+	for i, s := range log {
+		out[i] = Found{
+			Intention: lang.Intention(s.Ids),
+			Extension: s.Ext,
+			Size:      s.Size,
+			SI:        s.SI, IC: s.IC,
+			Mean: s.Mean,
+		}
+	}
+	return out
 }
 
 // Beam runs the level-wise beam search over the dataset's condition
 // language, scoring candidates with sc.
 func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 	p = p.withDefaults()
-	conds := pattern.AllConditions(ds, p.NumSplits)
-	condExts := make([]*bitset.Set, len(conds))
-	for i, c := range conds {
-		condExts[i] = c.Extension(ds)
-	}
+	lang := engine.LanguageFor(ds, p.NumSplits)
+	ev := engine.NewEvaluator(lang, sc, engine.Options{
+		Parallelism: p.Parallelism,
+		MinSupport:  p.MinSupport,
+		Deadline:    p.Deadline,
+	})
 
 	res := &Results{}
-	visited := map[string]bool{}
-	var top []scored // global log, sorted by SI desc
-	var beam []scored
+	top := engine.NewTopK(p.TopK)
 
 	full := bitset.Full(ds.N())
-	// Level 1 candidates: every elementary condition.
-	cands := make([]candidate, 0, len(conds))
-	for i, c := range conds {
-		cands = append(cands, candidate{
-			intention: pattern.Intention{c},
-			parentExt: full,
-			cond:      c,
-			condExt:   condExts[i],
+	// Level 1 candidates: every elementary condition (distinct by
+	// construction, no dedup needed).
+	cands := make([]engine.Candidate, 0, len(lang.Conds))
+	for i := range lang.Conds {
+		cands = append(cands, engine.Candidate{
+			Parent: full,
+			Cond:   engine.CondID(i),
+			Ids:    []engine.CondID{engine.CondID(i)},
 		})
 	}
 
+	var scratchIDs []engine.CondID
 	for depth := 1; depth <= p.MaxDepth; depth++ {
 		if len(cands) == 0 {
 			break
@@ -136,23 +139,19 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 			res.TimedOut = true
 			break
 		}
-		level := evaluate(cands, sc, p)
+		level, expired := ev.EvaluateBatch(cands)
+		if expired {
+			res.TimedOut = true
+			break
+		}
 		res.Evaluated += len(cands)
 		res.Levels = depth
-
-		// Deduplicate by canonical intention and merge into the log.
-		var kept []scored
 		for _, s := range level {
-			if visited[s.key] {
-				continue
-			}
-			visited[s.key] = true
-			kept = append(kept, s)
+			top.Add(s)
 		}
-		top = mergeTop(top, kept, p.TopK)
 
-		// New beam: best BeamWidth of this level.
-		beam = kept
+		// New beam: best BeamWidth of this level (level is sorted).
+		beam := level
 		if len(beam) > p.BeamWidth {
 			beam = beam[:p.BeamWidth]
 		}
@@ -160,106 +159,83 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 			break
 		}
 
-		// Expand the beam with every condition not already present.
+		// Expand the beam with every condition not already present;
+		// duplicate intentions (reached via different parents) are dropped
+		// here, before they cost a scoring pass. The table is per level:
+		// intentions at different depths have different lengths and can
+		// never collide, so nothing is gained by retaining older levels.
+		seen := engine.NewDedup()
 		cands = cands[:0]
 		for _, b := range beam {
-			for ci, c := range conds {
-				if b.Intention.Contains(c) {
+			for ci := range lang.Conds {
+				id := engine.CondID(ci)
+				if engine.ContainsID(b.Ids, id) {
 					continue
 				}
-				cands = append(cands, candidate{
-					intention: b.Intention.Extend(c),
-					parentExt: b.Extension,
-					cond:      c,
-					condExt:   condExts[ci],
+				scratchIDs = engine.InsertSorted(scratchIDs, b.Ids, id)
+				ids, fresh := seen.Insert(scratchIDs)
+				if !fresh {
+					continue
+				}
+				cands = append(cands, engine.Candidate{
+					Parent: b.Ext,
+					Cond:   id,
+					Ids:    ids,
 				})
 			}
 		}
 	}
 
-	res.Patterns = make([]Found, len(top))
-	for i, s := range top {
-		res.Patterns[i] = s.Found
-	}
+	res.Patterns = patterns(lang, top.Sorted())
 	return res
 }
 
-// evaluate scores all candidates in parallel and returns them sorted by
-// SI descending with a canonical-key tiebreak (deterministic regardless
-// of scheduling).
-func evaluate(cands []candidate, sc Scorer, p Params) []scored {
-	out := make([]scored, len(cands))
-	valid := make([]bool, len(cands))
-
-	var wg sync.WaitGroup
-	chunk := (len(cands) + p.Parallelism - 1) / p.Parallelism
-	for w := 0; w < p.Parallelism; w++ {
-		lo := w * chunk
-		if lo >= len(cands) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(cands) {
-			hi = len(cands)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				c := cands[i]
-				ext := c.parentExt.And(c.condExt)
-				size := ext.Count()
-				if size < p.MinSupport {
-					continue
-				}
-				si, ic, mean, ok := sc.Score(ext, len(c.intention))
-				if !ok {
-					continue
-				}
-				out[i] = scored{
-					Found: Found{
-						Intention: c.intention,
-						Extension: ext,
-						Size:      size,
-						SI:        si,
-						IC:        ic,
-						Mean:      mean,
-					},
-					key: c.intention.Key(),
-				}
-				valid[i] = true
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	kept := make([]scored, 0, len(cands))
-	for i := range out {
-		if valid[i] {
-			kept = append(kept, out[i])
-		}
-	}
-	sortScored(kept)
-	return kept
-}
-
-func sortScored(s []scored) {
-	sort.Slice(s, func(i, j int) bool {
-		if s[i].SI != s[j].SI {
-			return s[i].SI > s[j].SI
-		}
-		return s[i].key < s[j].key
+// Exhaustive enumerates every conjunction of up to maxDepth distinct
+// conditions (each condition used at most once, order-free) and scores
+// all of them. Exponential — use only on small datasets and as the
+// oracle the beam is tested against. Non-positive arguments mean the
+// paper defaults (depth 4, 4 splits, support 2, top-150), matching
+// Beam's convention.
+func Exhaustive(ds *dataset.Dataset, sc Scorer, maxDepth, numSplits, minSupport, topK int) *Results {
+	return ExhaustiveP(ds, sc, Params{
+		MaxDepth:   maxDepth,
+		NumSplits:  numSplits,
+		MinSupport: minSupport,
+		TopK:       topK,
 	})
 }
 
-// mergeTop merges the new level into the global log, keeping the best k.
-func mergeTop(top, level []scored, k int) []scored {
-	top = append(top, level...)
-	sortScored(top)
-	if len(top) > k {
-		top = top[:k]
-	}
-	return top
+// ExhaustiveP is Exhaustive configured by Params (BeamWidth and
+// Parallelism are ignored; the enumeration is sequential and complete).
+// A Deadline marks the results TimedOut when the walk is cut short.
+func ExhaustiveP(ds *dataset.Dataset, sc Scorer, p Params) *Results {
+	p = p.withDefaults()
+	lang := engine.LanguageFor(ds, p.NumSplits)
+	res := &Results{}
+	top := engine.NewTopK(p.TopK)
+	res.TimedOut = lang.Enumerate(engine.EnumOptions{
+		MaxDepth:   p.MaxDepth,
+		MinSupport: p.MinSupport,
+		Deadline:   p.Deadline,
+	}, func(ids []engine.CondID, ext *bitset.Set, size int) bool {
+		res.Evaluated++
+		if len(ids) > res.Levels {
+			res.Levels = len(ids)
+		}
+		si, ic, mean, ok := sc.Score(ext, len(ids))
+		if ok && top.WouldAccept(si, ids) {
+			top.Add(engine.Scored{
+				Ids:  append([]engine.CondID(nil), ids...),
+				Ext:  ext.Clone(),
+				Size: size,
+				SI:   si, IC: ic,
+				Mean: mean,
+			})
+		}
+		return true
+	})
+	res.Patterns = patterns(lang, top.Sorted())
+	return res
 }
 
 // DiverseTopK greedily selects up to k patterns from a result log
@@ -292,66 +268,4 @@ func DiverseTopK(res *Results, k int, maxJaccard float64) []Found {
 		}
 	}
 	return out
-}
-
-// Exhaustive enumerates every conjunction of up to maxDepth distinct
-// conditions (each condition used at most once, order-free) and scores
-// all of them. Exponential — use only on small datasets and as the
-// oracle the beam is tested against.
-func Exhaustive(ds *dataset.Dataset, sc Scorer, maxDepth, numSplits, minSupport, topK int) *Results {
-	if numSplits <= 0 {
-		numSplits = 4
-	}
-	if minSupport <= 0 {
-		minSupport = 2
-	}
-	if topK <= 0 {
-		topK = 150
-	}
-	conds := pattern.AllConditions(ds, numSplits)
-	condExts := make([]*bitset.Set, len(conds))
-	for i, c := range conds {
-		condExts[i] = c.Extension(ds)
-	}
-	res := &Results{}
-	var top []scored
-
-	var recurse func(start int, intent pattern.Intention, ext *bitset.Set)
-	recurse = func(start int, intent pattern.Intention, ext *bitset.Set) {
-		for i := start; i < len(conds); i++ {
-			next := ext.And(condExts[i])
-			size := next.Count()
-			if size < minSupport {
-				continue
-			}
-			in := intent.Extend(conds[i])
-			si, ic, mean, ok := sc.Score(next, len(in))
-			res.Evaluated++
-			if ok {
-				top = append(top, scored{
-					Found: Found{Intention: in, Extension: next, Size: size,
-						SI: si, IC: ic, Mean: mean},
-					key: in.Key(),
-				})
-				if len(top) > 4*topK {
-					sortScored(top)
-					top = top[:topK]
-				}
-			}
-			if len(in) < maxDepth {
-				recurse(i+1, in, next)
-			}
-		}
-	}
-	recurse(0, nil, bitset.Full(ds.N()))
-	sortScored(top)
-	if len(top) > topK {
-		top = top[:topK]
-	}
-	res.Patterns = make([]Found, len(top))
-	for i, s := range top {
-		res.Patterns[i] = s.Found
-	}
-	res.Levels = maxDepth
-	return res
 }

@@ -1,0 +1,27 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkBeamSynthetic measures candidate-evaluation throughput of the
+// beam search on the paper's §III-A synthetic dataset (620×7×2) with the
+// paper's default settings (beam 40, depth 4, top-150). Run with
+// -benchmem: allocs/op tracks the per-candidate allocation behaviour of
+// the evaluation pipeline, which is the quantity the engine refactor
+// targets.
+func BenchmarkBeamSynthetic(b *testing.B) {
+	ds := gen.Synthetic620(gen.SeedSynthetic).DS
+	sc := benchScorerFor(b, ds)
+	p := Params{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Beam(ds, sc, p)
+		if res.Top() == nil {
+			b.Fatal("no result")
+		}
+	}
+}

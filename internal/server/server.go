@@ -19,13 +19,18 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/pattern"
 	"repro/internal/search"
@@ -43,10 +48,41 @@ type Server struct {
 type session struct {
 	mu            sync.Mutex
 	miner         *core.Miner
+	mineTimeout   time.Duration // per-mine search budget (0 = none)
+	closed        bool          // set by delete; blocks queued requests
 	pendingLoc    *pattern.Location
 	pendingSpread *pattern.Spread
 	history       []PatternJSON
+	// iterations mirrors miner.Iteration() for lock-free reads: info()
+	// serves session listings without waiting behind an in-flight mine.
+	iterations atomic.Int64
 }
+
+// lockOpen acquires the session lock and reports whether the session is
+// still live. A request that grabbed the session just before a DELETE
+// removed it from the map would otherwise run after the delete — and a
+// mine would re-pin the evicted condition language of a dead dataset.
+func (sess *session) lockOpen(w http.ResponseWriter) bool {
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "session deleted")
+		return false
+	}
+	return true
+}
+
+// Caps on client-requested search settings that size allocations or
+// unbounded work: numSplits grows the condition language (one cached
+// extension bitset per condition), topK retains a cloned extension per
+// kept pattern, beamWidth multiplies the per-level candidate batch,
+// and depth multiplies the number of levels.
+const (
+	maxNumSplits   = 64
+	maxTopK        = 10000
+	maxBeamWidth   = 1024
+	maxSearchDepth = 8
+)
 
 // New returns an empty server.
 func New() *Server {
@@ -76,10 +112,19 @@ type CreateRequest struct {
 	CSV     string  `json:"csv,omitempty"`
 	Gamma   float64 `json:"gamma,omitempty"`
 	Eta     float64 `json:"eta,omitempty"`
-	// Search settings (0 = paper defaults).
-	BeamWidth  int  `json:"beamWidth,omitempty"`
-	Depth      int  `json:"depth,omitempty"`
-	PairSparse bool `json:"pairSparse,omitempty"`
+	// Search settings (0 = paper defaults). Parallelism caps the
+	// evaluation-engine workers per search — sessions on a shared server
+	// can be throttled so one mine call does not occupy every core.
+	BeamWidth   int  `json:"beamWidth,omitempty"`
+	Depth       int  `json:"depth,omitempty"`
+	TopK        int  `json:"topK,omitempty"`
+	MinSupport  int  `json:"minSupport,omitempty"`
+	NumSplits   int  `json:"numSplits,omitempty"`
+	Parallelism int  `json:"parallelism,omitempty"`
+	PairSparse  bool `json:"pairSparse,omitempty"`
+	// MineTimeoutMS bounds each mine call's beam search (0 = no budget);
+	// a cut-short search reports timedOut in the mine response.
+	MineTimeoutMS int `json:"mineTimeoutMs,omitempty"`
 }
 
 // SessionInfo describes a session to clients.
@@ -106,17 +151,23 @@ type PatternJSON struct {
 	Variance  float64   `json:"variance,omitempty"`
 }
 
-// MineRequest selects what to mine.
+// MineRequest selects what to mine. TimeoutMS overrides the session's
+// mine budget for this call (0 = use the session default).
 type MineRequest struct {
-	Spread bool `json:"spread"`
+	Spread    bool `json:"spread"`
+	TimeoutMS int  `json:"timeoutMs,omitempty"`
 }
 
-// MineResponse carries the pending (uncommitted) patterns.
+// MineResponse carries the pending (uncommitted) patterns. Location is
+// null when the mine budget expired before anything was scored (in
+// which case TimedOut is set).
 type MineResponse struct {
 	Location *PatternJSON `json:"location"`
 	Spread   *PatternJSON `json:"spread,omitempty"`
-	// Evaluated counts candidates scored by the beam search.
-	Evaluated int `json:"evaluated"`
+	// Evaluated counts candidates scored by the beam search; TimedOut
+	// reports whether the session's mine budget cut the search short.
+	Evaluated int  `json:"evaluated"`
+	TimedOut  bool `json:"timedOut,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -166,8 +217,32 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Clamp client-supplied engine options that size allocations: one
+	// create request must not be able to exhaust the shared server.
+	if req.Parallelism > runtime.NumCPU() {
+		req.Parallelism = runtime.NumCPU()
+	}
+	if req.NumSplits > maxNumSplits {
+		req.NumSplits = maxNumSplits
+	}
+	if req.TopK > maxTopK {
+		req.TopK = maxTopK
+	}
+	if req.BeamWidth > maxBeamWidth {
+		req.BeamWidth = maxBeamWidth
+	}
+	if req.Depth > maxSearchDepth {
+		req.Depth = maxSearchDepth
+	}
 	cfg := core.Config{
-		Search: search.Params{BeamWidth: req.BeamWidth, MaxDepth: req.Depth},
+		Search: search.Params{
+			BeamWidth:   req.BeamWidth,
+			MaxDepth:    req.Depth,
+			TopK:        req.TopK,
+			MinSupport:  req.MinSupport,
+			NumSplits:   req.NumSplits,
+			Parallelism: req.Parallelism,
+		},
 		Spread: spreadopt.Params{PairSparse: req.PairSparse},
 	}
 	if req.Gamma != 0 || req.Eta != 0 {
@@ -178,12 +253,20 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "building miner: %v", err)
 		return
 	}
+	sess := &session{miner: miner}
+	if req.MineTimeoutMS > 0 {
+		sess.mineTimeout = time.Duration(req.MineTimeoutMS) * time.Millisecond
+	}
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("s%04d", s.nextID)
-	s.sessions[id] = &session{miner: miner}
+	s.sessions[id] = sess
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, s.info(id))
+	writeJSON(w, http.StatusCreated, SessionInfo{
+		ID: id, Dataset: ds.Name,
+		N: ds.N(), Dx: ds.Dx(), Dy: ds.Dy(),
+		Targets: ds.TargetNames,
+	})
 }
 
 func (s *Server) get(id string) *session {
@@ -192,15 +275,20 @@ func (s *Server) get(id string) *session {
 	return s.sessions[id]
 }
 
-func (s *Server) info(id string) SessionInfo {
+// info describes a session; ok is false when the session was deleted
+// between the caller's id snapshot and this lookup.
+func (s *Server) info(id string) (SessionInfo, bool) {
 	sess := s.get(id)
+	if sess == nil {
+		return SessionInfo{}, false
+	}
 	ds := sess.miner.DS
 	return SessionInfo{
 		ID: id, Dataset: ds.Name,
 		N: ds.N(), Dx: ds.Dx(), Dy: ds.Dy(),
 		Targets:    ds.TargetNames,
-		Iterations: sess.miner.Iteration(),
-	}
+		Iterations: int(sess.iterations.Load()),
+	}, true
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -212,7 +300,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	out := make([]SessionInfo, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, s.info(id))
+		if inf, ok := s.info(id); ok {
+			out = append(out, inf)
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -220,13 +310,22 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.sessions[id]
+	sess, ok := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no session %q", id)
 		return
 	}
+	// Release the dataset's cached condition language with the session;
+	// datasets are per-session, so nobody else can be using it. Taking
+	// the session lock first waits out any in-flight mine, and marking
+	// the session closed stops requests still queued on the lock from
+	// rebuilding and re-pinning the language after the eviction.
+	sess.mu.Lock()
+	sess.closed = true
+	engine.EvictLanguage(sess.miner.DS)
+	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
@@ -271,10 +370,32 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sess.mu.Lock()
+	if !sess.lockOpen(w) {
+		return
+	}
 	defer sess.mu.Unlock()
+	budget := sess.mineTimeout
+	if req.TimeoutMS > 0 {
+		budget = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	sess.miner.Cfg.Search.Deadline = time.Time{}
+	if budget > 0 {
+		sess.miner.Cfg.Search.Deadline = time.Now().Add(budget)
+	}
 	loc, log, err := sess.miner.MineLocation()
 	if err != nil {
+		// A budget that expires before anything is scored is a timeout,
+		// not a server failure: honour the MineResponse contract. The
+		// pending slots are cleared so an earlier mine's pattern cannot
+		// be committed on the strength of this empty result.
+		if errors.Is(err, core.ErrNoPattern) && log != nil && log.TimedOut {
+			sess.pendingLoc, sess.pendingSpread = nil, nil
+			writeJSON(w, http.StatusOK, MineResponse{
+				Evaluated: log.Evaluated,
+				TimedOut:  true,
+			})
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, "mining: %v", err)
 		return
 	}
@@ -283,6 +404,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	resp := MineResponse{
 		Location:  locationJSON(sess.miner.DS, loc),
 		Evaluated: log.Evaluated,
+		TimedOut:  log.TimedOut,
 	}
 	if req.Spread {
 		// The two-step procedure needs the location committed before the
@@ -310,7 +432,9 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	sess.mu.Lock()
+	if !sess.lockOpen(w) {
+		return
+	}
 	defer sess.mu.Unlock()
 	if sess.pendingLoc == nil {
 		writeErr(w, http.StatusConflict, "nothing mined to commit")
@@ -320,15 +444,22 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "commit: %v", err)
 		return
 	}
+	// The location is now irreversibly in the background model: record
+	// that before attempting the spread, so a failed spread commit can
+	// neither double-commit the location on retry nor leave the listed
+	// iteration count behind the model's.
 	sess.history = append(sess.history, *locationJSON(sess.miner.DS, sess.pendingLoc))
-	if sess.pendingSpread != nil {
-		if err := sess.miner.CommitSpread(sess.pendingSpread); err != nil {
-			writeErr(w, http.StatusInternalServerError, "commit spread: %v", err)
+	sess.pendingLoc = nil
+	sess.iterations.Store(int64(sess.miner.Iteration()))
+	if sp := sess.pendingSpread; sp != nil {
+		sess.pendingSpread = nil
+		if err := sess.miner.CommitSpread(sp); err != nil {
+			writeErr(w, http.StatusInternalServerError,
+				"commit spread (location was committed): %v", err)
 			return
 		}
-		sess.history = append(sess.history, *spreadJSON(sess.miner.DS, sess.pendingSpread))
+		sess.history = append(sess.history, *spreadJSON(sess.miner.DS, sp))
 	}
-	sess.pendingLoc, sess.pendingSpread = nil, nil
 	writeJSON(w, http.StatusOK, map[string]int{"iterations": sess.miner.Iteration()})
 }
 
@@ -337,7 +468,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	sess.mu.Lock()
+	if !sess.lockOpen(w) {
+		return
+	}
 	defer sess.mu.Unlock()
 	if sess.pendingLoc == nil {
 		writeErr(w, http.StatusConflict, "nothing mined to explain")
@@ -359,7 +492,9 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	sess.mu.Lock()
+	if !sess.lockOpen(w) {
+		return
+	}
 	defer sess.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if err := sess.miner.Model.SaveJSON(w); err != nil {
@@ -372,7 +507,9 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	sess.mu.Lock()
+	if !sess.lockOpen(w) {
+		return
+	}
 	defer sess.mu.Unlock()
 	if sess.history == nil {
 		writeJSON(w, http.StatusOK, []PatternJSON{})

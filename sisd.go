@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/mat"
 	"repro/internal/pattern"
@@ -87,6 +88,19 @@ type (
 func NewMiner(ds *Dataset, cfg Config) (*Miner, error) {
 	return core.NewMiner(ds, cfg)
 }
+
+// ErrNoPattern is returned by mining calls when the search yields no
+// scoreable pattern. When it accompanies a search log whose TimedOut
+// flag is set, the time budget expired before anything was scored —
+// a retry with a larger budget, not a dead end.
+var ErrNoPattern = core.ErrNoPattern
+
+// ReleaseDataset drops the cached condition language built for ds by
+// previous searches. The cache is bounded (LRU), so calling this is
+// optional; long-running processes mining a stream of large datasets
+// should release each one when done with it to return the extension
+// bitsets to the heap immediately.
+func ReleaseDataset(ds *Dataset) { engine.EvictLanguage(ds) }
 
 // OptimalResult is the outcome of the exact single-target search.
 type OptimalResult = search.OptimalResult
