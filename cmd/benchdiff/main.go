@@ -1,0 +1,136 @@
+// Command benchdiff converts `go test -bench` output to a stable JSON
+// form and gates benchmark regressions against a checked-in baseline —
+// the compare step of the CI bench job.
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchdiff parse -out BENCH.json
+//	benchdiff compare -baseline BENCH_baseline.json -current BENCH.json
+//
+// Comparison thresholds: allocs/op is machine-independent, so its
+// threshold is tight (default +30%); ns/op varies with hardware and
+// -benchtime, so it gets a looser threshold (default +100%) and is only
+// compared for benchmarks whose baseline ns/op is at least -min-ns
+// (default 1e6 — sub-millisecond timings at -benchtime 1x are noise).
+// A tracked benchmark missing from the current run fails the gate.
+// Exit status: 0 pass, 1 usage/IO error, 2 regression.
+//
+// Refresh the baseline after an intentional perf change:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchdiff parse -out BENCH_baseline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchcmp"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		cmdParse(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  benchdiff parse [-in bench.txt] [-out BENCH.json]          (default stdin/stdout)
+  benchdiff compare -baseline BENCH_baseline.json -current BENCH.json
+                    [-threshold 0.30] [-ns-threshold 1.0] [-min-ns 1e6]
+`)
+	os.Exit(1)
+}
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	in := fs.String("in", "", "bench output file (default stdin)")
+	out := fs.String("out", "", "JSON output file (default stdout)")
+	_ = fs.Parse(args)
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	entries, err := benchcmp.Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := benchcmp.WriteJSON(w, entries); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: parsed %d benchmarks\n", len(entries))
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	baselinePath := fs.String("baseline", "", "baseline JSON (required)")
+	currentPath := fs.String("current", "", "current JSON (required)")
+	threshold := fs.Float64("threshold", 0.30, "allowed relative allocs/op growth")
+	nsThreshold := fs.Float64("ns-threshold", 1.0, "allowed relative ns/op growth (looser: wall time is machine-dependent)")
+	minNs := fs.Float64("min-ns", 1e6, "compare ns/op only when baseline ns/op is at least this")
+	_ = fs.Parse(args)
+	if *baselinePath == "" || *currentPath == "" {
+		usage()
+	}
+
+	baseline := readEntries(*baselinePath)
+	current := readEntries(*currentPath)
+	res := benchcmp.Compare(baseline, current, *threshold, *nsThreshold, *minNs)
+
+	for _, name := range res.Added {
+		fmt.Printf("new (untracked): %s — refresh BENCH_baseline.json to track it\n", name)
+	}
+	for _, name := range res.Missing {
+		fmt.Printf("MISSING: tracked benchmark %s not in current run\n", name)
+	}
+	for _, r := range res.Regressions {
+		fmt.Printf("REGRESSION: %s\n", r)
+	}
+	if !res.OK() {
+		fmt.Printf("benchdiff: FAIL (%d regressions, %d missing of %d tracked)\n",
+			len(res.Regressions), len(res.Missing), len(baseline))
+		os.Exit(2)
+	}
+	fmt.Printf("benchdiff: OK (%d tracked benchmarks within thresholds)\n", len(baseline))
+}
+
+func readEntries(path string) map[string]benchcmp.Entry {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	entries, err := benchcmp.ReadJSON(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return entries
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

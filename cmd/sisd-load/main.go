@@ -1,0 +1,82 @@
+// Command sisd-load is the serving-layer load harness: it drives N
+// concurrent simulated users through full interactive mining loops
+// (create session → [mine → commit]×k → delete) and reports latency
+// percentiles (p50/p95/p99) per operation and completed mine jobs per
+// second as JSON — the scalability artifact complementing the paper's
+// Table II runtime results.
+//
+// Against a running server:
+//
+//	sisd-load -addr http://localhost:8080 -users 32 -iters 3
+//
+// Or fully in-process (spins up the server itself; no network setup):
+//
+//	sisd-load -users 32 -iters 3 -dataset synthetic -depth 2
+//	sisd-load -users 16 -async            # exercise the job-polling API
+//	sisd-load -users 8 -dataset crime -timeout-ms 200   # budgeted mines
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http/httptest"
+	"os"
+	"runtime"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sisd-load: ")
+	addr := flag.String("addr", "", "target server base URL (empty = run an in-process server)")
+	users := flag.Int("users", 32, "concurrent simulated users")
+	iters := flag.Int("iters", 3, "mine/commit loops per user")
+	dataset := flag.String("dataset", "synthetic", "builtin dataset per session (synthetic|crime|mammals|socio|water)")
+	depth := flag.Int("depth", 2, "search depth per mine (0 = paper default 4)")
+	beam := flag.Int("beam", 0, "beam width (0 = paper default 40)")
+	spread := flag.Bool("spread", false, "also mine a spread preview each iteration")
+	async := flag.Bool("async", false, "use the async job API (submit + poll) instead of sync mines")
+	timeoutMS := flag.Int("timeout-ms", 0, "per-mine budget in ms (0 = none)")
+	seedBase := flag.Int64("seed-base", 1000, "user u mines dataset seeded seed-base+u")
+	workers := flag.Int("workers", 0, "in-process server mine workers (0 = server default)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		srv := server.NewWithOptions(server.Options{Workers: *workers})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+		base = ts.URL
+		log.Printf("in-process server on %s (%d CPUs)", base, runtime.NumCPU())
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL:    base,
+		Users:      *users,
+		Iterations: *iters,
+		Dataset:    *dataset,
+		Depth:      *depth,
+		BeamWidth:  *beam,
+		Spread:     *spread,
+		Async:      *async,
+		TimeoutMS:  *timeoutMS,
+		SeedBase:   *seedBase,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if rep.FailedJobs > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,13 +1,27 @@
 // Command sisd-server runs the interactive exploration API (a SIDE-style
 // session server, §V of the paper): create a session over a dataset,
-// then iteratively mine, explain and commit patterns over HTTP.
+// then iteratively mine, explain and commit patterns over HTTP. Mining
+// is job-oriented: each mine runs on a bounded worker pool, and clients
+// either wait in-request (default) or pass {"async":true} and poll the
+// job. Sessions are snapshotted to a store (commit, eviction, explicit
+// /snapshot) and restored transparently — with -store-dir the belief
+// state survives restarts and can be shared by multiple processes.
 //
-//	sisd-server -addr :8080
+//	sisd-server -addr :8080 -store-dir /var/lib/sisd/sessions
 //
 //	curl -X POST localhost:8080/api/sessions -d '{"dataset":"crime"}'
 //	curl -X POST localhost:8080/api/sessions/s0001/mine -d '{"spread":false}'
+//	curl -X POST localhost:8080/api/sessions/s0001/mine -d '{"async":true,"timeoutMs":500}'
+//	curl      'localhost:8080/api/jobs/j000001?waitMs=2000'
 //	curl -X POST localhost:8080/api/sessions/s0001/commit
+//	curl -X POST localhost:8080/api/sessions/s0001/snapshot
 //	curl      localhost:8080/api/sessions/s0001/history
+//	curl      localhost:8080/api/jobs
+//	curl -X DELETE localhost:8080/api/jobs/j000002
+//
+// Mine responses carry a status field: "complete", "partial" (budget
+// expired, best-so-far returned) or "timeout" (budget expired before
+// anything was scored).
 package main
 
 import (
@@ -23,11 +37,35 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sisd-server: ")
 	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store-dir", "", "directory for session snapshots (empty = in-memory store)")
+	workers := flag.Int("workers", 0, "concurrent mine jobs (0 = max(2, NumCPU/2))")
+	queueCap := flag.Int("queue", 0, "pending mine queue capacity before 503 (0 = 256)")
+	maxSessions := flag.Int("max-sessions", 0, "live in-memory session cap; LRU beyond it is evicted to the store (0 = 256)")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle session eviction TTL (0 = 30m)")
+	syncWait := flag.Duration("sync-wait", 0, "max in-request wait for a sync mine before 202 + job id (0 = 10m)")
 	flag.Parse()
+
+	opts := server.Options{
+		Workers:     *workers,
+		QueueCap:    *queueCap,
+		MaxSessions: *maxSessions,
+		SessionTTL:  *sessionTTL,
+		SyncWait:    *syncWait,
+	}
+	if *storeDir != "" {
+		store, err := server.NewDirStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Store = store
+		log.Printf("persisting sessions to %s", *storeDir)
+	}
+	api := server.NewWithOptions(opts)
+	defer api.Close()
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New().Handler(),
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("listening on %s", *addr)

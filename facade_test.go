@@ -37,6 +37,44 @@ no, 0.3
 	}
 }
 
+// TestSaveRestoreMinerViaFacade exercises the persistence primitives:
+// a miner restored from a saved model mines exactly what the original
+// would have.
+func TestSaveRestoreMinerViaFacade(t *testing.T) {
+	ds := sisd.GenerateSynthetic(620)
+	cfg := sisd.Config{}
+	cfg.Search.MaxDepth = 2
+	m, err := sisd.NewMiner(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(false); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := sisd.SaveModel(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := sisd.RestoreMiner(ds, cfg, strings.NewReader(buf.String()), m.Iteration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Iteration() != m.Iteration() {
+		t.Fatalf("iterations %d != %d", m2.Iteration(), m.Iteration())
+	}
+	want, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := m2.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.SI != got.SI || want.Intention.Format(ds) != got.Intention.Format(ds) {
+		t.Fatalf("restored miner diverged: %v vs %v", got, want)
+	}
+}
+
 func TestMineOptimalLocation1DViaFacade(t *testing.T) {
 	ds := sisd.GenerateCrimeLike(1994)
 	col := ds.TargetColumn(0)

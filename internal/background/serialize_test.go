@@ -60,6 +60,53 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadJSONExactBitIdentical pins the property session persistence
+// relies on: an exact load restores every group parameter to the same
+// float64 bits the live model had, so a restored session reproduces
+// byte-identical mine results.
+func TestLoadJSONExactBitIdentical(t *testing.T) {
+	m := newModel(t, 60, 2)
+	extA := bitset.FromIndices(60, seq(0, 25))
+	if err := m.CommitLocation(extA, mat.Vec{2, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitSpread(extA, mat.Vec{0, 1}, mat.Vec{2, -1}, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSONExact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadJSONExact: %v", err)
+	}
+	if got.NumGroups() != m.NumGroups() || got.NumConstraints() != m.NumConstraints() {
+		t.Fatal("structure changed")
+	}
+	for i, g := range m.Groups() {
+		h := got.Groups()[i]
+		for j := range g.Mu {
+			if g.Mu[j] != h.Mu[j] { // exact, not within-epsilon
+				t.Fatalf("group %d mu[%d]: %v != %v", i, j, g.Mu[j], h.Mu[j])
+			}
+		}
+		if g.Sigma.MaxAbsDiff(h.Sigma) != 0 {
+			t.Fatalf("group %d sigma not bit-identical", i)
+		}
+	}
+	// The exact-loaded model still evolves: committing replays fine.
+	extB := bitset.FromIndices(60, seq(30, 50))
+	if err := got.CommitLocation(extB, mat.Vec{-1, 1}); err != nil {
+		t.Fatalf("commit on exact-restored model: %v", err)
+	}
+	// Exact load still validates structure.
+	if _, err := LoadJSONExact(strings.NewReader(
+		`{"n":4,"d":1,"groups":[{"members":[0,1],"mu":[0],"sigma":[1]}],"constraints":[]}`)); err == nil {
+		t.Fatal("exact load accepted groups that do not cover all points")
+	}
+}
+
 func TestLoadJSONRejectsCorruptInput(t *testing.T) {
 	cases := []string{
 		``,

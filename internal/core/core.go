@@ -119,6 +119,24 @@ func (m *Miner) Reset() error {
 	return nil
 }
 
+// Restore replaces the miner's belief state with a previously saved
+// model (see background.SaveJSON / LoadJSONExact) and the number of
+// committed iterations that state represents. Dimensions must match
+// the miner's dataset. Used by session persistence: a restored miner
+// continues the interactive loop exactly where the snapshot left off.
+func (m *Miner) Restore(model *background.Model, iteration int) error {
+	if model.N() != m.DS.N() || model.D() != m.DS.Dy() {
+		return fmt.Errorf("core: restored model is %d×%d, dataset is %d×%d",
+			model.N(), model.D(), m.DS.N(), m.DS.Dy())
+	}
+	if iteration < 0 {
+		return fmt.Errorf("core: negative iteration count %d", iteration)
+	}
+	m.Model = model
+	m.iteration = iteration
+	return nil
+}
+
 // MineLocation runs the beam search under the current background model
 // and returns the best location pattern plus the full search log
 // (top-K patterns, the paper logs 150). On ErrNoPattern the log is

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/background"
+	"repro/internal/gen"
+)
+
+// TestMinerRestoreRoundTrip checks that a miner restored from a saved
+// model snapshot mines exactly what the original miner would have.
+func TestMinerRestoreRoundTrip(t *testing.T) {
+	ds := gen.Synthetic620(620).DS
+	cfg := Config{}
+	cfg.Search.MaxDepth = 2
+	m, err := NewMiner(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(false); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Model.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restoredModel, err := background.LoadJSONExact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMiner(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Restore(restoredModel, m.Iteration()); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Iteration() != 1 {
+		t.Fatalf("iteration = %d", m2.Iteration())
+	}
+
+	wantLoc, _, err := m.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLoc, _, err := m2.MineLocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantLoc.Intention.Format(ds) != gotLoc.Intention.Format(ds) {
+		t.Fatalf("restored miner found %s, original %s",
+			gotLoc.Intention.Format(ds), wantLoc.Intention.Format(ds))
+	}
+	if wantLoc.SI != gotLoc.SI || wantLoc.IC != gotLoc.IC {
+		t.Fatalf("restored scores differ: SI %v vs %v", gotLoc.SI, wantLoc.SI)
+	}
+
+	// Dimension mismatch is rejected.
+	other := gen.CrimeLike(1).DS
+	mo, err := NewMiner(other, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mo.Restore(restoredModel, 1); err == nil {
+		t.Fatal("restore accepted a model with mismatched dimensions")
+	}
+}

@@ -1,0 +1,253 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitStatus polls until the job reaches want or the deadline passes.
+func waitStatus(t *testing.T, p *Pool, id string, want Status) Info {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		inf, ok := p.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if inf.Status == want {
+			return inf
+		}
+		if inf.Status.Terminal() && !want.Terminal() {
+			t.Fatalf("job %s reached terminal %s while waiting for %s", id, inf.Status, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Info{}
+}
+
+func TestLifecycleDone(t *testing.T) {
+	p := NewPool(2, 8)
+	defer p.Close()
+	j, err := p.Submit("double", 0, func(ctx context.Context, progress func(string)) (any, error) {
+		progress("working")
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, ok := p.Wait(context.Background(), j.ID(), time.Second)
+	if !ok || inf.Status != StatusDone {
+		t.Fatalf("wait = %+v ok=%v", inf, ok)
+	}
+	if inf.Result != 42 {
+		t.Fatalf("result = %v", inf.Result)
+	}
+	if inf.Started == nil || inf.Finished == nil {
+		t.Fatalf("missing timestamps: %+v", inf)
+	}
+}
+
+func TestLifecycleFailed(t *testing.T) {
+	p := NewPool(1, 8)
+	defer p.Close()
+	j, _ := p.Submit("boom", 0, func(ctx context.Context, progress func(string)) (any, error) {
+		return nil, errors.New("kaput")
+	})
+	inf, _ := p.Wait(context.Background(), j.ID(), time.Second)
+	if inf.Status != StatusFailed || inf.Error != "kaput" {
+		t.Fatalf("info = %+v", inf)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	p := NewPool(1, 8)
+	defer p.Close()
+	block := make(chan struct{})
+	first, _ := p.Submit("blocker", 0, func(ctx context.Context, progress func(string)) (any, error) {
+		<-block
+		return nil, nil
+	})
+	waitStatus(t, p, first.ID(), StatusRunning)
+	// Second job sits in the queue behind the blocker.
+	second, _ := p.Submit("victim", 0, func(ctx context.Context, progress func(string)) (any, error) {
+		t.Error("cancelled queued job ran")
+		return nil, nil
+	})
+	inf, ok := p.Cancel(second.ID())
+	if !ok || inf.Status != StatusCancelled {
+		t.Fatalf("cancel = %+v ok=%v", inf, ok)
+	}
+	close(block)
+	waitStatus(t, p, first.ID(), StatusDone)
+}
+
+func TestCancelRunning(t *testing.T) {
+	p := NewPool(1, 8)
+	defer p.Close()
+	started := make(chan struct{})
+	j, _ := p.Submit("obedient", 0, func(ctx context.Context, progress func(string)) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	if _, ok := p.Cancel(j.ID()); !ok {
+		t.Fatal("cancel: job not found")
+	}
+	inf, _ := p.Wait(context.Background(), j.ID(), time.Second)
+	if inf.Status != StatusCancelled {
+		t.Fatalf("status = %s", inf.Status)
+	}
+}
+
+func TestDeadlinePropagation(t *testing.T) {
+	p := NewPool(1, 8)
+	defer p.Close()
+	j, _ := p.Submit("slow", 10*time.Millisecond, func(ctx context.Context, progress func(string)) (any, error) {
+		d, ok := ctx.Deadline()
+		if !ok {
+			t.Error("no deadline on job context")
+		}
+		if until := time.Until(d); until > 10*time.Millisecond {
+			t.Errorf("deadline too far out: %v", until)
+		}
+		<-ctx.Done()
+		// A deadline-aware search would return partial results here; a
+		// plain timeout surfaces as failed.
+		return nil, ctx.Err()
+	})
+	inf, _ := p.Wait(context.Background(), j.ID(), time.Second)
+	if inf.Status != StatusFailed {
+		t.Fatalf("status = %s (want failed on deadline)", inf.Status)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	defer close(block)
+	blocker := func(ctx context.Context, progress func(string)) (any, error) {
+		<-block
+		return nil, nil
+	}
+	run, _ := p.Submit("running", 0, blocker)
+	waitStatus(t, p, run.ID(), StatusRunning)
+	if _, err := p.Submit("queued", 0, blocker); err != nil {
+		t.Fatalf("queue slot should be free: %v", err)
+	}
+	if _, err := p.Submit("overflow", 0, blocker); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestWaitLongPoll(t *testing.T) {
+	p := NewPool(1, 8)
+	defer p.Close()
+	release := make(chan struct{})
+	j, _ := p.Submit("slowish", 0, func(ctx context.Context, progress func(string)) (any, error) {
+		<-release
+		return "ok", nil
+	})
+	// Short wait returns a non-terminal snapshot.
+	inf, ok := p.Wait(context.Background(), j.ID(), 10*time.Millisecond)
+	if !ok || inf.Status.Terminal() {
+		t.Fatalf("early wait = %+v", inf)
+	}
+	close(release)
+	inf, _ = p.Wait(context.Background(), j.ID(), time.Second)
+	if inf.Status != StatusDone || inf.Result != "ok" {
+		t.Fatalf("final wait = %+v", inf)
+	}
+	// Unknown id.
+	if _, ok := p.Wait(context.Background(), "zzz", 0); ok {
+		t.Fatal("wait on unknown id reported ok")
+	}
+}
+
+func TestRetentionSweep(t *testing.T) {
+	p := NewPool(2, 64, WithRetention(time.Hour, 3))
+	defer p.Close()
+	noop := func(ctx context.Context, progress func(string)) (any, error) { return nil, nil }
+	var last *Job
+	for i := 0; i < 10; i++ {
+		job, err := p.Submit(fmt.Sprintf("n%d", i), 0, noop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Wait(context.Background(), job.ID(), time.Second)
+		last = job
+	}
+	list := p.List()
+	if len(list) > 4 { // 3 retained finished + possibly the sweep-lag entry
+		t.Fatalf("retained %d finished jobs, cap 3: %+v", len(list), list)
+	}
+	if _, ok := p.Get(last.ID()); !ok {
+		t.Fatal("most recent job evicted")
+	}
+}
+
+func TestCloseCancelsQueuedAndRunning(t *testing.T) {
+	p := NewPool(1, 8)
+	started := make(chan struct{})
+	running, _ := p.Submit("running", 0, func(ctx context.Context, progress func(string)) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	queued, _ := p.Submit("queued", 0, func(ctx context.Context, progress func(string)) (any, error) {
+		t.Error("queued job ran after Close")
+		return nil, nil
+	})
+	p.Close()
+	if inf, _ := p.Get(running.ID()); inf.Status != StatusCancelled {
+		t.Fatalf("running job after close: %s", inf.Status)
+	}
+	if inf, _ := p.Get(queued.ID()); inf.Status != StatusCancelled {
+		t.Fatalf("queued job after close: %s", inf.Status)
+	}
+	noop := func(ctx context.Context, progress func(string)) (any, error) { return nil, nil }
+	if _, err := p.Submit("late", 0, noop); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	p := NewPool(4, 256)
+	defer p.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				job, err := p.Submit(fmt.Sprintf("g%d-%d", g, i), 0,
+					func(ctx context.Context, progress func(string)) (any, error) {
+						progress("busy")
+						return g*100 + i, nil
+					})
+				if err != nil {
+					errs <- err
+					return
+				}
+				inf, ok := p.Wait(context.Background(), job.ID(), 5*time.Second)
+				if !ok || inf.Status != StatusDone || inf.Result != g*100+i {
+					errs <- fmt.Errorf("job %s: %+v", job.ID(), inf)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestLoad32Users is the serving-subsystem acceptance check: 32
+// concurrent simulated users complete full mine/commit loops against an
+// in-process server with zero failed jobs, and the report carries
+// latency percentiles and throughput.
+func TestLoad32Users(t *testing.T) {
+	srv := server.NewWithOptions(server.Options{Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	rep, err := Run(Config{
+		BaseURL:    ts.URL,
+		Users:      32,
+		Iterations: 2,
+		Dataset:    "synthetic",
+		Depth:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedJobs != 0 {
+		t.Fatalf("failed jobs: %d, errors: %v", rep.FailedJobs, rep.Errors)
+	}
+	if rep.Jobs != 32*2 {
+		t.Fatalf("jobs = %d, want 64", rep.Jobs)
+	}
+	mine, ok := rep.Ops["mine"]
+	if !ok || mine.Count != 64 || mine.P50MS <= 0 || mine.P95MS < mine.P50MS ||
+		mine.P99MS < mine.P95MS || mine.MaxMS < mine.P99MS {
+		t.Fatalf("mine stats malformed: %+v", mine)
+	}
+	if rep.JobsPerSec <= 0 {
+		t.Fatalf("jobsPerSec = %v", rep.JobsPerSec)
+	}
+	for _, op := range []string{"create", "commit", "delete"} {
+		st := rep.Ops[op]
+		if st.Failed != 0 || st.Count == 0 {
+			t.Fatalf("%s stats: %+v (errors %v)", op, st, rep.Errors)
+		}
+	}
+}
+
+// TestLoadAsyncMode drives the job-polling path.
+func TestLoadAsyncMode(t *testing.T) {
+	srv := server.NewWithOptions(server.Options{Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	rep, err := Run(Config{
+		BaseURL:    ts.URL,
+		Users:      8,
+		Iterations: 1,
+		Dataset:    "synthetic",
+		Depth:      2,
+		Async:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedJobs != 0 || rep.Jobs != 8 {
+		t.Fatalf("async run: %d jobs, %d failed, errors %v",
+			rep.Jobs, rep.FailedJobs, rep.Errors)
+	}
+}

@@ -6,67 +6,189 @@
 // commits patterns interactively, and the server keeps the belief state
 // between requests.
 //
+// Serving is job-oriented: every mine call is enqueued on a bounded
+// worker pool (package jobs), so an expensive search occupies a worker,
+// not an HTTP handler goroutine, and a burst of mines degrades into
+// queueing latency rather than unbounded concurrency. Clients either
+// wait for the result in the same request (the default), or pass
+// "async": true and poll /api/jobs/{id} (optionally long-polling with
+// ?waitMs=). Sessions are persisted as snapshots to a pluggable Store
+// (in-memory or a disk directory) on create, commit and eviction, and
+// are transparently restored on first touch — a restart or a second
+// server process sharing the store does not lose belief state. An LRU
+// cap and an idle TTL bound the number of live in-memory sessions.
+//
 // Endpoints (all JSON):
 //
 //	POST   /api/sessions                  create (builtin dataset or inline CSV)
-//	GET    /api/sessions                  list sessions
-//	DELETE /api/sessions/{id}             drop a session
-//	POST   /api/sessions/{id}/mine        mine the next pattern (not committed)
+//	GET    /api/sessions                  list sessions (live + persisted)
+//	DELETE /api/sessions/{id}             drop a session (memory and store)
+//	POST   /api/sessions/{id}/mine        mine the next pattern (async: poll the job)
 //	POST   /api/sessions/{id}/commit      commit the pending pattern(s)
 //	GET    /api/sessions/{id}/explain     per-target surprise of the pending pattern
 //	GET    /api/sessions/{id}/history     committed patterns so far
+//	GET    /api/sessions/{id}/model       export the background model JSON
+//	POST   /api/sessions/{id}/snapshot    persist the session to the store now
+//	GET    /api/jobs                      list mine jobs
+//	GET    /api/jobs/{id}[?waitMs=N]      job status/result, optionally long-polled
+//	DELETE /api/jobs/{id}                 cancel a queued or running job
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/background"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/jobs"
 	"repro/internal/pattern"
 	"repro/internal/search"
 	"repro/internal/si"
 	"repro/internal/spreadopt"
 )
 
-// Server is the HTTP API. Create with New and mount via Handler.
+// Options configure a Server. The zero value gets production defaults.
+type Options struct {
+	// Workers bounds concurrent mine searches; queued mines wait
+	// (default max(2, NumCPU/2) — each search is itself parallel).
+	Workers int
+	// QueueCap bounds pending mines before Submit returns 503
+	// (default 256).
+	QueueCap int
+	// Store persists session snapshots (default in-memory).
+	Store Store
+	// MaxSessions caps live in-memory sessions; beyond it the least
+	// recently used idle session is snapshotted to the store and evicted
+	// (default 256).
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this to the store
+	// (default 30m; <= 0 disables).
+	SessionTTL time.Duration
+	// SyncWait bounds how long a synchronous mine request blocks before
+	// handing the client its job id with 202 (default 10m).
+	SyncWait time.Duration
+	// MaxMineBudget caps every mine's search budget (default 5m). A
+	// request without timeoutMs gets this budget, and a larger request
+	// is clamped to it, so no job can occupy a worker unboundedly and
+	// cancellation takes effect no later than the budget.
+	MaxMineBudget time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU() / 2
+		if o.Workers < 2 {
+			o.Workers = 2
+		}
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.Store == nil {
+		o.Store = NewMemStore()
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 256
+	}
+	if o.SessionTTL == 0 {
+		o.SessionTTL = 30 * time.Minute
+	}
+	if o.SyncWait <= 0 {
+		o.SyncWait = 10 * time.Minute
+	}
+	if o.MaxMineBudget <= 0 {
+		o.MaxMineBudget = 5 * time.Minute
+	}
+	return o
+}
+
+// Server is the HTTP API. Create with New / NewWithOptions, mount via
+// Handler, and Close when done to stop the worker pool.
 type Server struct {
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextID   int
+	// tombstones records recently deleted ids so a transparent restore
+	// racing a DELETE (snapshot fetched before the store removal) cannot
+	// resurrect the session. Entries expire after tombstoneTTL.
+	tombstones map[string]time.Time
+
+	opts  Options
+	pool  *jobs.Pool
+	store Store
+	// lastSweep (unix nanos) rate-limits TTL/LRU sweeps on request
+	// paths, so idle-session eviction also happens on servers that see
+	// only mine/commit traffic and no new creates.
+	lastSweep atomic.Int64
 }
 
+// tombstoneTTL is how long a deleted id blocks restore-from-store; it
+// only needs to cover the wall time of an in-flight restore.
+const tombstoneTTL = time.Minute
+
 type session struct {
+	id string
+	// create is the request that built the session, kept verbatim so a
+	// snapshot can rebuild the dataset and miner deterministically.
+	create CreateRequest
+
 	mu            sync.Mutex
 	miner         *core.Miner
 	mineTimeout   time.Duration // per-mine search budget (0 = none)
-	closed        bool          // set by delete; blocks queued requests
+	closed        bool          // deleted or evicted; blocks queued requests
+	mining        bool          // a mine job is queued or running
 	pendingLoc    *pattern.Location
 	pendingSpread *pattern.Spread
 	history       []PatternJSON
 	// iterations mirrors miner.Iteration() for lock-free reads: info()
-	// serves session listings without waiting behind an in-flight mine.
+	// serves session listings without waiting behind state mutations.
 	iterations atomic.Int64
+	// lastUsed (unix nanos) orders sessions for LRU/TTL eviction.
+	lastUsed atomic.Int64
 }
+
+func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
 
 // lockOpen acquires the session lock and reports whether the session is
 // still live. A request that grabbed the session just before a DELETE
-// removed it from the map would otherwise run after the delete — and a
-// mine would re-pin the evicted condition language of a dead dataset.
+// (or an eviction) removed it from the map would otherwise run after
+// the teardown — and a mine would re-pin the evicted condition language
+// of a dead dataset.
 func (sess *session) lockOpen(w http.ResponseWriter) bool {
 	sess.mu.Lock()
 	if sess.closed {
 		sess.mu.Unlock()
 		writeErr(w, http.StatusNotFound, "session deleted")
+		return false
+	}
+	return true
+}
+
+// lockIdle is lockOpen plus a guard against an in-flight mine: handlers
+// that read or write the background model (commit, explain, model
+// export, snapshot) must not overlap a search that is reading it on a
+// pool worker.
+func (sess *session) lockIdle(w http.ResponseWriter) bool {
+	if !sess.lockOpen(w) {
+		return false
+	}
+	if sess.mining {
+		sess.mu.Unlock()
+		writeErr(w, http.StatusConflict, "mine in progress; retry when the job finishes")
 		return false
 	}
 	return true
@@ -84,10 +206,44 @@ const (
 	maxSearchDepth = 8
 )
 
-// New returns an empty server.
-func New() *Server {
-	return &Server{sessions: map[string]*session{}}
+// New returns a server with default options.
+func New() *Server { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns a server configured by opts. When the store
+// already holds sessions (a restart over a DirStore), ids continue
+// after the highest stored one.
+func NewWithOptions(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		sessions:   map[string]*session{},
+		tombstones: map[string]time.Time{},
+		opts:       opts,
+		store:      opts.Store,
+		pool:       jobs.NewPool(opts.Workers, opts.QueueCap),
+	}
+	if ids, err := s.store.List(); err == nil {
+		for _, id := range ids {
+			if n, ok := parseSessionID(id); ok && n > s.nextID {
+				s.nextID = n
+			}
+		}
+	}
+	return s
 }
+
+func parseSessionID(id string) (int, bool) {
+	if !strings.HasPrefix(id, "s") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Close stops the worker pool, cancelling queued and running jobs.
+func (s *Server) Close() { s.pool.Close() }
 
 // Handler returns the API routes.
 func (s *Server) Handler() http.Handler {
@@ -100,6 +256,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/sessions/{id}/explain", s.handleExplain)
 	mux.HandleFunc("GET /api/sessions/{id}/history", s.handleHistory)
 	mux.HandleFunc("GET /api/sessions/{id}/model", s.handleModel)
+	mux.HandleFunc("POST /api/sessions/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /api/jobs", s.handleJobList)
+	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleJobCancel)
 	return mux
 }
 
@@ -123,19 +283,23 @@ type CreateRequest struct {
 	Parallelism int  `json:"parallelism,omitempty"`
 	PairSparse  bool `json:"pairSparse,omitempty"`
 	// MineTimeoutMS bounds each mine call's beam search (0 = no budget);
-	// a cut-short search reports timedOut in the mine response.
+	// a cut-short search reports a "partial" or "timeout" status in the
+	// mine response.
 	MineTimeoutMS int `json:"mineTimeoutMs,omitempty"`
 }
 
-// SessionInfo describes a session to clients.
+// SessionInfo describes a session to clients. Persisted-only sessions
+// (evicted or from a previous process) carry just ID and Persisted —
+// touching any session endpoint restores them transparently.
 type SessionInfo struct {
 	ID         string   `json:"id"`
-	Dataset    string   `json:"dataset"`
-	N          int      `json:"n"`
-	Dx         int      `json:"dx"`
-	Dy         int      `json:"dy"`
-	Targets    []string `json:"targets"`
+	Dataset    string   `json:"dataset,omitempty"`
+	N          int      `json:"n,omitempty"`
+	Dx         int      `json:"dx,omitempty"`
+	Dy         int      `json:"dy,omitempty"`
+	Targets    []string `json:"targets,omitempty"`
 	Iterations int      `json:"iterations"`
+	Persisted  bool     `json:"persisted,omitempty"`
 }
 
 // PatternJSON is the wire form of a mined pattern.
@@ -152,22 +316,41 @@ type PatternJSON struct {
 }
 
 // MineRequest selects what to mine. TimeoutMS overrides the session's
-// mine budget for this call (0 = use the session default).
+// mine budget for this call (0 = use the session default). Async makes
+// the handler return 202 with the job immediately instead of waiting.
 type MineRequest struct {
 	Spread    bool `json:"spread"`
 	TimeoutMS int  `json:"timeoutMs,omitempty"`
+	Async     bool `json:"async,omitempty"`
 }
 
+// Mine outcome statuses. A deadline that expires mid-search is not an
+// error: the beam returns its best-so-far, reported as "partial" so
+// clients can distinguish it from a search that ran to completion.
+const (
+	// MineStatusComplete: the search ran to completion.
+	MineStatusComplete = "complete"
+	// MineStatusPartial: the budget expired mid-search; Location is the
+	// best pattern found before the cut.
+	MineStatusPartial = "partial"
+	// MineStatusTimeout: the budget expired before anything was scored;
+	// Location is null. Retry with a larger budget.
+	MineStatusTimeout = "timeout"
+)
+
 // MineResponse carries the pending (uncommitted) patterns. Location is
-// null when the mine budget expired before anything was scored (in
-// which case TimedOut is set).
+// null only when Status is "timeout".
 type MineResponse struct {
 	Location *PatternJSON `json:"location"`
 	Spread   *PatternJSON `json:"spread,omitempty"`
-	// Evaluated counts candidates scored by the beam search; TimedOut
-	// reports whether the session's mine budget cut the search short.
-	Evaluated int  `json:"evaluated"`
-	TimedOut  bool `json:"timedOut,omitempty"`
+	// Evaluated counts candidates scored by the beam search.
+	Evaluated int `json:"evaluated"`
+	// Status is complete, partial or timeout (see the constants).
+	Status string `json:"status"`
+	// TimedOut mirrors Status != complete (kept for older clients).
+	TimedOut bool `json:"timedOut,omitempty"`
+	// Job is the id of the mine job that produced this response.
+	Job string `json:"job,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -206,62 +389,103 @@ func buildDataset(req *CreateRequest) (*dataset.Dataset, error) {
 	}
 }
 
+// newSession builds a session from a create request — the one
+// construction path shared by POST /api/sessions and snapshot restore,
+// so both apply identical clamping and defaults (which is what makes a
+// restored session behave exactly like the original).
+func newSession(req *CreateRequest) (*session, error) {
+	ds, err := buildDataset(req)
+	if err != nil {
+		return nil, err
+	}
+	// Clamp client-supplied engine options that size allocations: one
+	// create request must not be able to exhaust the shared server.
+	clamped := *req
+	if clamped.Parallelism > runtime.NumCPU() {
+		clamped.Parallelism = runtime.NumCPU()
+	}
+	if clamped.NumSplits > maxNumSplits {
+		clamped.NumSplits = maxNumSplits
+	}
+	if clamped.TopK > maxTopK {
+		clamped.TopK = maxTopK
+	}
+	if clamped.BeamWidth > maxBeamWidth {
+		clamped.BeamWidth = maxBeamWidth
+	}
+	if clamped.Depth > maxSearchDepth {
+		clamped.Depth = maxSearchDepth
+	}
+	cfg := core.Config{
+		Search: search.Params{
+			BeamWidth:   clamped.BeamWidth,
+			MaxDepth:    clamped.Depth,
+			TopK:        clamped.TopK,
+			MinSupport:  clamped.MinSupport,
+			NumSplits:   clamped.NumSplits,
+			Parallelism: clamped.Parallelism,
+		},
+		Spread: spreadopt.Params{PairSparse: clamped.PairSparse},
+	}
+	if clamped.Gamma != 0 || clamped.Eta != 0 {
+		cfg.SI = si.Params{Gamma: clamped.Gamma, Eta: clamped.Eta}
+	}
+	miner, err := core.NewMiner(ds, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("building miner: %w", err)
+	}
+	sess := &session{miner: miner, create: *req}
+	if clamped.MineTimeoutMS > 0 {
+		sess.mineTimeout = time.Duration(clamped.MineTimeoutMS) * time.Millisecond
+	}
+	sess.touch()
+	return sess, nil
+}
+
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	ds, err := buildDataset(&req)
+	sess, err := newSession(&req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// Clamp client-supplied engine options that size allocations: one
-	// create request must not be able to exhaust the shared server.
-	if req.Parallelism > runtime.NumCPU() {
-		req.Parallelism = runtime.NumCPU()
-	}
-	if req.NumSplits > maxNumSplits {
-		req.NumSplits = maxNumSplits
-	}
-	if req.TopK > maxTopK {
-		req.TopK = maxTopK
-	}
-	if req.BeamWidth > maxBeamWidth {
-		req.BeamWidth = maxBeamWidth
-	}
-	if req.Depth > maxSearchDepth {
-		req.Depth = maxSearchDepth
-	}
-	cfg := core.Config{
-		Search: search.Params{
-			BeamWidth:   req.BeamWidth,
-			MaxDepth:    req.Depth,
-			TopK:        req.TopK,
-			MinSupport:  req.MinSupport,
-			NumSplits:   req.NumSplits,
-			Parallelism: req.Parallelism,
-		},
-		Spread: spreadopt.Params{PairSparse: req.PairSparse},
-	}
-	if req.Gamma != 0 || req.Eta != 0 {
-		cfg.SI = si.Params{Gamma: req.Gamma, Eta: req.Eta}
-	}
-	miner, err := core.NewMiner(ds, cfg)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "building miner: %v", err)
-		return
-	}
-	sess := &session{miner: miner}
-	if req.MineTimeoutMS > 0 {
-		sess.mineTimeout = time.Duration(req.MineTimeoutMS) * time.Millisecond
-	}
 	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("s%04d", s.nextID)
+	// Probe for a free id: another process sharing the store (or a
+	// restored set of sessions) may already own the next counter value,
+	// and a Put under a reused id would silently overwrite its snapshot.
+	// A store error counts as "taken" (conservative), with a bounded
+	// number of probes so a wholly broken store cannot spin forever.
+	// Two processes creating at the same instant can still race the
+	// probe — shared DirStores are for restart/failover continuity, not
+	// coordination-free concurrent writes.
+	var id string
+	for probes := 0; ; probes++ {
+		s.nextID++
+		id = fmt.Sprintf("s%04d", s.nextID)
+		if probes >= 10000 {
+			break
+		}
+		if _, live := s.sessions[id]; live {
+			continue
+		}
+		if _, dead := s.tombstones[id]; dead {
+			continue
+		}
+		if _, err := s.store.Get(id); !errors.Is(err, ErrNotFound) {
+			continue
+		}
+		break
+	}
+	sess.id = id
 	s.sessions[id] = sess
 	s.mu.Unlock()
+	s.persist(sess) // best-effort: a restart should know the session exists
+	s.enforceCaps()
+	ds := sess.miner.DS
 	writeJSON(w, http.StatusCreated, SessionInfo{
 		ID: id, Dataset: ds.Name,
 		N: ds.N(), Dx: ds.Dx(), Dy: ds.Dy(),
@@ -269,16 +493,197 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) get(id string) *session {
+// lookup finds a live session or transparently restores it from the
+// store. Returns ErrNotFound when the id is unknown in both places;
+// any other error means a snapshot exists but could not be restored.
+func (s *Server) lookup(id string) (*session, error) {
+	s.maybeSweep()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sessions[id]
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess != nil {
+		sess.touch()
+		return sess, nil
+	}
+	return s.restoreFromStore(id)
+}
+
+// restoreFromStore rebuilds a session from its snapshot: same dataset
+// (deterministic in the create request), exact model parameters
+// (LoadJSONExact — no refit drift), same history and iteration count.
+func (s *Server) restoreFromStore(id string) (*session, error) {
+	snap, err := s.store.Get(id)
+	if err != nil {
+		return nil, err // ErrNotFound or a store I/O failure
+	}
+	sess, err := newSession(&snap.Create)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding dataset/miner: %w", err)
+	}
+	model, err := background.LoadJSONExact(bytes.NewReader(snap.Model))
+	if err != nil {
+		return nil, fmt.Errorf("restoring model: %w", err)
+	}
+	if err := sess.miner.Restore(model, snap.Iterations); err != nil {
+		return nil, fmt.Errorf("restoring model: %w", err)
+	}
+	sess.id = id
+	sess.history = append([]PatternJSON(nil), snap.History...)
+	sess.iterations.Store(int64(snap.Iterations))
+	sess.touch()
+	s.mu.Lock()
+	if t, dead := s.tombstones[id]; dead && time.Since(t) < tombstoneTTL {
+		// A DELETE ran while we were rebuilding: honour it.
+		s.mu.Unlock()
+		engine.EvictLanguage(sess.miner.DS)
+		return nil, ErrNotFound
+	}
+	if have := s.sessions[id]; have != nil { // lost a restore race
+		s.mu.Unlock()
+		engine.EvictLanguage(sess.miner.DS)
+		have.touch()
+		return have, nil
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.enforceCaps()
+	return sess, nil
+}
+
+// maybeSweep runs the TTL/LRU sweep at most every 10s from request
+// paths, so eviction does not depend on session-create traffic.
+func (s *Server) maybeSweep() {
+	const interval = 10 * time.Second
+	now := time.Now().UnixNano()
+	last := s.lastSweep.Load()
+	if now-last < int64(interval) {
+		return
+	}
+	if s.lastSweep.CompareAndSwap(last, now) {
+		s.enforceCaps()
+	}
+}
+
+// persist snapshots the session to the store; best-effort, reports
+// success. Skips closed sessions (their teardown owns the store
+// entry). sess.mu is held across the Put — the discipline every
+// persist path shares, so snapshots of one session are serialized and
+// a stale one can never overwrite a fresh one.
+func (s *Server) persist(sess *session) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return false
+	}
+	snap, err := sess.snapshotLocked()
+	if err != nil {
+		return false
+	}
+	return s.store.Put(snap) == nil
+}
+
+// snapshotLocked serializes the session's durable state. Caller holds
+// sess.mu. Pending (uncommitted) patterns are ephemeral by design and
+// not part of the snapshot.
+func (sess *session) snapshotLocked() (*Snapshot, error) {
+	var buf bytes.Buffer
+	if err := sess.miner.Model.SaveJSON(&buf); err != nil {
+		return nil, err
+	}
+	return &Snapshot{
+		ID:         sess.id,
+		Create:     sess.create,
+		Model:      json.RawMessage(buf.Bytes()),
+		History:    append([]PatternJSON(nil), sess.history...),
+		Iterations: int(sess.iterations.Load()),
+		SavedAt:    time.Now(),
+	}, nil
+}
+
+// enforceCaps applies the TTL and LRU bounds: idle sessions past the
+// TTL, and the least recently used sessions beyond MaxSessions, are
+// snapshotted to the store and evicted from memory. Mining sessions
+// are never evicted. The global lock is only held to pick candidates;
+// model serialization and store writes happen per session, so a sweep
+// over a slow disk never stalls unrelated requests.
+func (s *Server) enforceCaps() {
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	for id, t := range s.tombstones {
+		if time.Since(t) > tombstoneTTL {
+			delete(s.tombstones, id)
+		}
+	}
+	type candidate struct {
+		sess *session
+		used int64
+	}
+	var victims []candidate
+	if ttl := s.opts.SessionTTL; ttl > 0 {
+		for _, sess := range s.sessions {
+			if now-sess.lastUsed.Load() > int64(ttl) {
+				victims = append(victims, candidate{sess, sess.lastUsed.Load()})
+			}
+		}
+	}
+	if over := len(s.sessions) - s.opts.MaxSessions; over > 0 {
+		all := make([]candidate, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			all = append(all, candidate{sess, sess.lastUsed.Load()})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].used < all[j].used })
+		seen := map[*session]bool{}
+		for _, c := range victims {
+			seen[c.sess] = true
+		}
+		for _, c := range all[:over] {
+			if !seen[c.sess] {
+				victims = append(victims, c)
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range victims {
+		s.tryEvict(c.sess)
+	}
+}
+
+// tryEvict snapshots one session to the store and removes it from
+// memory. Eviction drops pending (uncommitted) patterns — they are
+// ephemeral — but never loses committed belief state: the session is
+// closed only once the store accepted the snapshot, and sess.mu is
+// held across the Put so a concurrent commit (which persists under the
+// same lock) can neither interleave nor be overwritten by a stale
+// snapshot. Lock order here is sess.mu → s.mu; no path nests them the
+// other way around.
+func (s *Server) tryEvict(sess *session) bool {
+	sess.mu.Lock()
+	if sess.closed || sess.mining {
+		sess.mu.Unlock()
+		return false
+	}
+	snap, err := sess.snapshotLocked()
+	if err != nil || s.store.Put(snap) != nil {
+		sess.mu.Unlock()
+		return false
+	}
+	sess.closed = true
+	sess.mu.Unlock()
+	s.mu.Lock()
+	if s.sessions[sess.id] == sess {
+		delete(s.sessions, sess.id)
+	}
+	s.mu.Unlock()
+	engine.EvictLanguage(sess.miner.DS)
+	return true
 }
 
 // info describes a session; ok is false when the session was deleted
 // between the caller's id snapshot and this lookup.
 func (s *Server) info(id string) (SessionInfo, bool) {
-	sess := s.get(id)
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
 	if sess == nil {
 		return SessionInfo{}, false
 	}
@@ -292,16 +697,28 @@ func (s *Server) info(id string) (SessionInfo, bool) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.maybeSweep()
 	s.mu.Lock()
 	ids := make([]string, 0, len(s.sessions))
 	for id := range s.sessions {
 		ids = append(ids, id)
 	}
 	s.mu.Unlock()
+	live := map[string]bool{}
 	out := make([]SessionInfo, 0, len(ids))
 	for _, id := range ids {
 		if inf, ok := s.info(id); ok {
 			out = append(out, inf)
+			live[id] = true
+		}
+	}
+	// Persisted-only sessions (evicted, or from a previous process) are
+	// listed by id; touching them restores the full state.
+	if stored, err := s.store.List(); err == nil {
+		for _, id := range stored {
+			if !live[id] {
+				out = append(out, SessionInfo{ID: id, Persisted: true})
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -312,27 +729,55 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
 	delete(s.sessions, id)
+	// The tombstone blocks a restore that fetched the snapshot before
+	// the store removal below from resurrecting the session.
+	s.tombstones[id] = time.Now()
 	s.mu.Unlock()
-	if !ok {
+	if ok {
+		// Release the dataset's cached condition language with the
+		// session; datasets are per-session, so nobody else can be using
+		// it. Marking the session closed stops requests still queued on
+		// the lock from rebuilding and re-pinning the language after the
+		// eviction; if a mine job is in flight, its completion watcher
+		// performs the eviction instead (an in-flight search keeps its
+		// own reference, so dropping the cache entry is safe either way).
+		sess.mu.Lock()
+		sess.closed = true
+		mining := sess.mining
+		sess.mu.Unlock()
+		if !mining {
+			engine.EvictLanguage(sess.miner.DS)
+		}
+	}
+	// A session can exist only as a stored snapshot (evicted, or from a
+	// previous process); deleting that is a successful delete too. A
+	// failing store removal must surface: claiming "deleted" while the
+	// snapshot survives would let the session resurrect after the
+	// tombstone expires.
+	hadSnapshot, delErr := s.store.Delete(id)
+	if delErr != nil {
+		writeErr(w, http.StatusInternalServerError,
+			"session removed from memory but snapshot deletion failed: %v", delErr)
+		return
+	}
+	if !ok && !hadSnapshot {
 		writeErr(w, http.StatusNotFound, "no session %q", id)
 		return
 	}
-	// Release the dataset's cached condition language with the session;
-	// datasets are per-session, so nobody else can be using it. Taking
-	// the session lock first waits out any in-flight mine, and marking
-	// the session closed stops requests still queued on the lock from
-	// rebuilding and re-pinning the language after the eviction.
-	sess.mu.Lock()
-	sess.closed = true
-	engine.EvictLanguage(sess.miner.DS)
-	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
 func (s *Server) withSession(w http.ResponseWriter, r *http.Request) *session {
-	sess := s.get(r.PathValue("id"))
-	if sess == nil {
-		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+	id := r.PathValue("id")
+	sess, err := s.lookup(id)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeErr(w, http.StatusNotFound, "no session %q", id)
+		return nil
+	case err != nil:
+		// A snapshot exists but could not be restored — surface the
+		// cause instead of a misleading 404.
+		writeErr(w, http.StatusInternalServerError, "restoring session %q: %v", id, err)
 		return nil
 	}
 	return sess
@@ -370,61 +815,161 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Claim the session's single mine slot under the lock, then run the
+	// search on a pool worker with no session lock held — concurrent
+	// sessions never serialize behind one search, and list/history stay
+	// responsive during a long mine.
 	if !sess.lockOpen(w) {
 		return
 	}
-	defer sess.mu.Unlock()
+	if sess.mining {
+		sess.mu.Unlock()
+		writeErr(w, http.StatusConflict, "mine already in progress for this session")
+		return
+	}
+	sess.mining = true
 	budget := sess.mineTimeout
 	if req.TimeoutMS > 0 {
 		budget = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
-	sess.miner.Cfg.Search.Deadline = time.Time{}
-	if budget > 0 {
-		sess.miner.Cfg.Search.Deadline = time.Now().Add(budget)
+	// Every job gets a budget: an unbudgeted or oversized request is
+	// clamped to MaxMineBudget so no search can occupy a worker
+	// unboundedly (and cancellation bites no later than the budget).
+	if budget <= 0 || budget > s.opts.MaxMineBudget {
+		budget = s.opts.MaxMineBudget
 	}
-	loc, log, err := sess.miner.MineLocation()
+	sess.mu.Unlock()
+
+	job, err := s.pool.Submit("mine "+sess.id, budget, s.mineJob(sess, req))
 	if err != nil {
-		// A budget that expires before anything is scored is a timeout,
-		// not a server failure: honour the MineResponse contract. The
-		// pending slots are cleared so an earlier mine's pattern cannot
-		// be committed on the strength of this empty result.
-		if errors.Is(err, core.ErrNoPattern) && log != nil && log.TimedOut {
-			sess.pendingLoc, sess.pendingSpread = nil, nil
-			writeJSON(w, http.StatusOK, MineResponse{
-				Evaluated: log.Evaluated,
-				TimedOut:  true,
-			})
-			return
-		}
-		writeErr(w, http.StatusInternalServerError, "mining: %v", err)
+		sess.mu.Lock()
+		sess.mining = false
+		sess.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "mine queue full, retry later: %v", err)
 		return
 	}
-	sess.pendingLoc = loc
-	sess.pendingSpread = nil
-	resp := MineResponse{
-		Location:  locationJSON(sess.miner.DS, loc),
-		Evaluated: log.Evaluated,
-		TimedOut:  log.TimedOut,
+	// Release the mine slot on any terminal outcome — including a job
+	// cancelled while still queued, whose Fn never runs.
+	go func() {
+		<-job.Done()
+		sess.mu.Lock()
+		sess.mining = false
+		closed := sess.closed
+		sess.mu.Unlock()
+		if closed {
+			engine.EvictLanguage(sess.miner.DS)
+		}
+	}()
+
+	if req.Async {
+		inf, _ := s.pool.Get(job.ID())
+		writeJSON(w, http.StatusAccepted, inf)
+		return
 	}
-	if req.Spread {
-		// The two-step procedure needs the location committed before the
-		// direction search; preview on a clone so nothing is committed
-		// until the client asks for it.
-		preview := *sess.miner
-		preview.Model = sess.miner.Model.Clone()
-		if err := preview.Model.CommitLocation(loc.Extension, loc.Mean); err != nil {
-			writeErr(w, http.StatusInternalServerError, "spread preview: %v", err)
+	inf, _ := s.pool.Wait(r.Context(), job.ID(), s.opts.SyncWait)
+	s.writeMineOutcome(w, inf)
+}
+
+// writeMineOutcome maps a finished (or still-running) mine job to the
+// synchronous response the classic API contract promises.
+func (s *Server) writeMineOutcome(w http.ResponseWriter, inf jobs.Info) {
+	switch inf.Status {
+	case jobs.StatusDone:
+		resp, ok := inf.Result.(*MineResponse)
+		if !ok {
+			writeErr(w, http.StatusInternalServerError, "mine job returned %T", inf.Result)
 			return
 		}
-		sp, err := preview.MineSpread(loc)
+		// Annotate a copy: the original is shared with concurrent
+		// GET /api/jobs/{id} marshalling.
+		withJob := *resp
+		withJob.Job = inf.ID
+		writeJSON(w, http.StatusOK, &withJob)
+	case jobs.StatusFailed:
+		writeErr(w, http.StatusInternalServerError, "mining: %s", inf.Error)
+	case jobs.StatusCancelled:
+		writeErr(w, http.StatusConflict, "mine job %s cancelled", inf.ID)
+	default:
+		// SyncWait elapsed (or the client went away): hand over the job
+		// id so the client can keep polling.
+		writeJSON(w, http.StatusAccepted, inf)
+	}
+}
+
+// mineJob is the Fn run on a pool worker for one mine call. It owns the
+// session's miner for the duration (guaranteed by the mining flag) and
+// only takes the session lock to publish results.
+func (s *Server) mineJob(sess *session, req MineRequest) jobs.Fn {
+	return func(ctx context.Context, progress func(string)) (any, error) {
+		// Deadline propagation: the job context carries the mine budget
+		// (counted from job start, so queue time does not eat search
+		// time); hand it to the engine's native deadline support.
+		deadline := time.Time{}
+		if d, ok := ctx.Deadline(); ok {
+			deadline = d
+		}
+		sess.miner.Cfg.Search.Deadline = deadline
+		progress("beam search")
+		loc, log, err := sess.miner.MineLocation()
+		// A cancelled job must not publish results. The search itself
+		// only honours the time deadline, so cancellation takes effect
+		// here — after the current search phase, and no later than the
+		// mine budget.
+		if cerr := context.Cause(ctx); errors.Is(cerr, context.Canceled) {
+			return nil, cerr
+		}
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "spread: %v", err)
-			return
+			// A budget that expires before anything is scored is a
+			// timeout, not a server failure: honour the MineResponse
+			// contract. The pending slots are cleared so an earlier
+			// mine's pattern cannot be committed on the strength of this
+			// empty result.
+			if errors.Is(err, core.ErrNoPattern) && log != nil && log.TimedOut {
+				sess.mu.Lock()
+				sess.pendingLoc, sess.pendingSpread = nil, nil
+				sess.mu.Unlock()
+				return &MineResponse{
+					Evaluated: log.Evaluated,
+					Status:    MineStatusTimeout,
+					TimedOut:  true,
+				}, nil
+			}
+			return nil, err
 		}
-		sess.pendingSpread = sp
-		resp.Spread = spreadJSON(sess.miner.DS, sp)
+		resp := &MineResponse{
+			Location:  locationJSON(sess.miner.DS, loc),
+			Evaluated: log.Evaluated,
+			Status:    MineStatusComplete,
+			TimedOut:  log.TimedOut,
+		}
+		if log.TimedOut {
+			resp.Status = MineStatusPartial
+		}
+		var sp *pattern.Spread
+		if req.Spread {
+			// The two-step procedure needs the location committed before
+			// the direction search; preview on a clone so nothing is
+			// committed until the client asks for it.
+			progress("spread preview")
+			preview := *sess.miner
+			preview.Model = sess.miner.Model.Clone()
+			if err := preview.Model.CommitLocation(loc.Extension, loc.Mean); err != nil {
+				return nil, fmt.Errorf("spread preview: %w", err)
+			}
+			sp, err = preview.MineSpread(loc)
+			if err != nil {
+				return nil, fmt.Errorf("spread: %w", err)
+			}
+			resp.Spread = spreadJSON(sess.miner.DS, sp)
+		}
+		sess.mu.Lock()
+		if !sess.closed {
+			sess.pendingLoc = loc
+			sess.pendingSpread = sp
+		}
+		sess.mu.Unlock()
+		return resp, nil
 	}
-	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
@@ -432,7 +977,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	if !sess.lockOpen(w) {
+	if !sess.lockIdle(w) {
 		return
 	}
 	defer sess.mu.Unlock()
@@ -460,7 +1005,13 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		}
 		sess.history = append(sess.history, *spreadJSON(sess.miner.DS, sp))
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"iterations": sess.miner.Iteration()})
+	// Persist the new belief state so a restart resumes from here.
+	snap, err := sess.snapshotLocked()
+	persisted := err == nil && s.store.Put(snap) == nil
+	writeJSON(w, http.StatusOK, map[string]any{
+		"iterations": sess.miner.Iteration(),
+		"persisted":  persisted,
+	})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -468,7 +1019,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	if !sess.lockOpen(w) {
+	if !sess.lockIdle(w) {
 		return
 	}
 	defer sess.mu.Unlock()
@@ -492,7 +1043,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	if !sess.lockOpen(w) {
+	if !sess.lockIdle(w) {
 		return
 	}
 	defer sess.mu.Unlock()
@@ -500,6 +1051,35 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if err := sess.miner.Model.SaveJSON(w); err != nil {
 		writeErr(w, http.StatusInternalServerError, "export: %v", err)
 	}
+}
+
+// handleSnapshot persists the session to the store immediately and
+// reports the snapshot metadata — the explicit flush clients can use
+// before tearing a process down.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess := s.withSession(w, r)
+	if sess == nil {
+		return
+	}
+	if !sess.lockIdle(w) {
+		return
+	}
+	snap, err := sess.snapshotLocked()
+	sess.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	if err := s.store.Put(snap); err != nil {
+		writeErr(w, http.StatusInternalServerError, "persisting snapshot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":         snap.ID,
+		"iterations": snap.Iterations,
+		"savedAt":    snap.SavedAt,
+		"modelBytes": len(snap.Model),
+	})
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
@@ -516,4 +1096,40 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.history)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.List())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var wait time.Duration
+	if ms := r.URL.Query().Get("waitMs"); ms != "" {
+		n, err := strconv.Atoi(ms)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad waitMs %q", ms)
+			return
+		}
+		const maxLongPoll = 60 * time.Second
+		wait = time.Duration(n) * time.Millisecond
+		if wait > maxLongPoll {
+			wait = maxLongPoll
+		}
+	}
+	inf, ok := s.pool.Wait(r.Context(), id, wait)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, inf)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	inf, ok := s.pool.Cancel(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, inf)
 }

@@ -14,8 +14,12 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New().Handler())
-	t.Cleanup(ts.Close)
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
 	return ts
 }
 

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Snapshot is the persistent form of a session: everything needed to
+// rebuild its miner and belief state in another process (or after a
+// restart). The dataset itself is not stored — builtin datasets are
+// deterministic in (name, seed) and CSV data rides along inside the
+// CreateRequest — so a snapshot stays small: the background model's
+// group parameters and constraint list plus the pattern history.
+// Pending (mined but uncommitted) patterns are deliberately ephemeral.
+type Snapshot struct {
+	ID         string          `json:"id"`
+	Create     CreateRequest   `json:"create"`
+	Model      json.RawMessage `json:"model"`
+	History    []PatternJSON   `json:"history,omitempty"`
+	Iterations int             `json:"iterations"`
+	SavedAt    time.Time       `json:"savedAt"`
+}
+
+// ErrNotFound is returned by Store.Get for unknown session ids.
+var ErrNotFound = errors.New("server: session snapshot not found")
+
+// Store persists session snapshots. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	Put(snap *Snapshot) error
+	Get(id string) (*Snapshot, error)
+	// Delete reports whether a snapshot existed; deleting an absent id
+	// is not an error.
+	Delete(id string) (existed bool, err error)
+	// List returns the ids of all stored snapshots, sorted.
+	List() ([]string, error)
+}
+
+// MemStore keeps snapshots in process memory — the single-process
+// default. Survives session LRU/TTL eviction but not a restart.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string]*Snapshot
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: map[string]*Snapshot{}} }
+
+// Put stores a deep-enough copy of snap (the raw model bytes are
+// aliased; callers do not mutate them after Put).
+func (s *MemStore) Put(snap *Snapshot) error {
+	cp := *snap
+	cp.History = append([]PatternJSON(nil), snap.History...)
+	s.mu.Lock()
+	s.m[snap.ID] = &cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Get retrieves a snapshot by id.
+func (s *MemStore) Get(id string) (*Snapshot, error) {
+	s.mu.Lock()
+	snap := s.m[id]
+	s.mu.Unlock()
+	if snap == nil {
+		return nil, ErrNotFound
+	}
+	cp := *snap
+	return &cp, nil
+}
+
+// Delete removes a snapshot, reporting whether it existed.
+func (s *MemStore) Delete(id string) (bool, error) {
+	s.mu.Lock()
+	_, existed := s.m[id]
+	delete(s.m, id)
+	s.mu.Unlock()
+	return existed, nil
+}
+
+// List returns all stored ids, sorted.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.m))
+	for id := range s.m {
+		out = append(out, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out, nil
+}
+
+// DirStore persists snapshots as one JSON file per session in a
+// directory, so sessions survive process restarts and can be shared by
+// multiple server processes on a common filesystem. Writes are atomic
+// (temp file + rename).
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore creates the directory if needed and returns the store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: session store dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// validID guards against path traversal: session ids are only ever the
+// server-generated s%04d form, but Get sees client-supplied strings.
+func validID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *DirStore) path(id string) string {
+	return filepath.Join(s.dir, id+".json")
+}
+
+// Put writes the snapshot atomically.
+func (s *DirStore) Put(snap *Snapshot) error {
+	if !validID(snap.ID) {
+		return fmt.Errorf("server: invalid session id %q", snap.ID)
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	tmp := s.path(snap.ID) + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path(snap.ID))
+}
+
+// Get reads a snapshot by id.
+func (s *DirStore) Get(id string) (*Snapshot, error) {
+	if !validID(id) {
+		return nil, ErrNotFound
+	}
+	raw, err := os.ReadFile(s.path(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("server: corrupt snapshot %s: %w", id, err)
+	}
+	return &snap, nil
+}
+
+// Delete removes a snapshot file, reporting whether it existed.
+func (s *DirStore) Delete(id string) (bool, error) {
+	if !validID(id) {
+		return false, nil
+	}
+	err := os.Remove(s.path(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// List returns the ids of all snapshot files, sorted.
+func (s *DirStore) List() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(out)
+	return out, nil
+}

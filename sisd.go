@@ -3,6 +3,7 @@ package sisd
 import (
 	"io"
 
+	"repro/internal/background"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -101,6 +102,34 @@ var ErrNoPattern = core.ErrNoPattern
 // should release each one when done with it to return the extension
 // bitsets to the heap immediately.
 func ReleaseDataset(ds *Dataset) { engine.EvictLanguage(ds) }
+
+// SaveModel serializes a miner's belief state (the background model's
+// group parameters and committed constraints) as JSON. Together with
+// RestoreMiner it is the session-persistence primitive: the dataset is
+// not part of the snapshot (rebuild it deterministically from its
+// source), only the evolving belief state is.
+func SaveModel(m *Miner, w io.Writer) error { return m.Model.SaveJSON(w) }
+
+// RestoreMiner rebuilds a miner over ds from a belief state saved with
+// SaveModel and the number of committed iterations it represents. The
+// model parameters are restored exactly (bit-identical floats, no
+// constraint replay), so the restored miner mines exactly what the
+// original would have — the property the HTTP server's session
+// persistence is built on.
+func RestoreMiner(ds *Dataset, cfg Config, savedModel io.Reader, iterations int) (*Miner, error) {
+	m, err := core.NewMiner(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	model, err := background.LoadJSONExact(savedModel)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Restore(model, iterations); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
 
 // OptimalResult is the outcome of the exact single-target search.
 type OptimalResult = search.OptimalResult
