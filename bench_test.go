@@ -130,6 +130,42 @@ func BenchmarkMineLocationCrime(b *testing.B) {
 	}
 }
 
+// BenchmarkMineLocationCrimeManyGroups measures the same beam search
+// after 32 committed location patterns have fragmented the background
+// model into many parameter groups — the interactive steady state the
+// server is built for. Before the sufficient-statistics refactor every
+// candidate paid one AND-popcount bitset pass per group, so this
+// benchmark scaled with the commit count; the fused label-pass kernel
+// makes it scale only with n.
+func BenchmarkMineLocationCrimeManyGroups(b *testing.B) {
+	ds := sisd.GenerateCrimeLike(gen.SeedCrime)
+	m, err := sisd.NewMiner(ds, sisd.Config{
+		Search: sisd.SearchParams{MaxDepth: 2, BeamWidth: 10},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < 32; c++ {
+		in := sisd.Intention{{Attr: c, Op: sisd.LE, Threshold: 0.3}}
+		loc, err := m.ScoreLocationIntention(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.CommitLocation(loc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if m.Model.NumGroups() < 32 {
+		b.Fatalf("expected a many-groups model, got %d groups", m.Model.NumGroups())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.MineLocation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCommitLocationMammals measures a single location-pattern
 // commit at the paper's highest target dimensionality (dy=124).
 func BenchmarkCommitLocationMammals(b *testing.B) {

@@ -46,6 +46,7 @@ func usage() {
   benchdiff parse [-in bench.txt] [-out BENCH.json]          (default stdin/stdout)
   benchdiff compare -baseline BENCH_baseline.json -current BENCH.json
                     [-threshold 0.30] [-ns-threshold 1.0] [-min-ns 1e6]
+                    [-markdown BENCH_DIFF.md]
 `)
 	os.Exit(1)
 }
@@ -91,6 +92,7 @@ func cmdCompare(args []string) {
 	threshold := fs.Float64("threshold", 0.30, "allowed relative allocs/op growth")
 	nsThreshold := fs.Float64("ns-threshold", 1.0, "allowed relative ns/op growth (looser: wall time is machine-dependent)")
 	minNs := fs.Float64("min-ns", 1e6, "compare ns/op only when baseline ns/op is at least this")
+	markdown := fs.String("markdown", "", "also write a before/after markdown table to this file (CI artifact)")
 	_ = fs.Parse(args)
 	if *baselinePath == "" || *currentPath == "" {
 		usage()
@@ -99,6 +101,22 @@ func cmdCompare(args []string) {
 	baseline := readEntries(*baselinePath)
 	current := readEntries(*currentPath)
 	res := benchcmp.Compare(baseline, current, *threshold, *nsThreshold, *minNs)
+
+	// The markdown report is written before the gate decision so a red
+	// compare still leaves the artifact to inspect.
+	if *markdown != "" {
+		f, err := os.Create(*markdown)
+		if err != nil {
+			fatal(err)
+		}
+		if err := benchcmp.WriteMarkdown(f, baseline, current); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	for _, name := range res.Added {
 		fmt.Printf("new (untracked): %s — refresh BENCH_baseline.json to track it\n", name)

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/bitset"
 	"repro/internal/mat"
@@ -48,8 +49,6 @@ func (g *Group) Chol() (*mat.Cholesky, error) {
 	return g.chol, nil
 }
 
-func (g *Group) invalidate() { g.chol = nil }
-
 // constraint is one committed pattern, replayed during coordinate
 // descent. Extensions always align with group boundaries because Commit*
 // splits groups first.
@@ -78,7 +77,17 @@ type spreadConstraint struct {
 type Model struct {
 	n, d   int
 	groups []*Group
-	cons   []constraint
+	// labels is the dense per-point group labeling: labels[i] is the
+	// index into groups of the group containing point i. It is the
+	// sufficient statistic the fused scoring kernels key on — one
+	// trailing-zeros walk over an extension accumulates per-group counts
+	// without a bitset pass per group. Maintained by split (and restored
+	// on commit rollback), so it is always consistent with groups.
+	labels []int32
+	// gcScratch is the reusable per-group count buffer of insideGroups
+	// (commits are single-threaded, so one buffer per model suffices).
+	gcScratch []int32
+	cons      []constraint
 
 	// Tol is the maximum allowed relative expectation violation after
 	// Commit; the coordinate descent loops until all constraints hold
@@ -118,6 +127,7 @@ func New(n int, mu mat.Vec, sigma *mat.Dense) (*Model, error) {
 		n:         n,
 		d:         d,
 		groups:    []*Group{g},
+		labels:    make([]int32, n),
 		Tol:       1e-8,
 		MaxSweeps: 5000,
 	}, nil
@@ -138,6 +148,31 @@ func (m *Model) NumConstraints() int { return len(m.cons) }
 // Groups exposes the parameter groups for read-only inspection.
 func (m *Model) Groups() []*Group { return m.groups }
 
+// Labels exposes the per-point group labeling: Labels()[i] indexes
+// Groups() at the group containing point i. Callers must treat the
+// slice as read-only; it is invalidated by the next Commit*.
+func (m *Model) Labels() []int32 { return m.labels }
+
+// rebuildLabels recomputes the dense labeling from the group partition.
+// Groups partition the points, so the total work is one trailing-zeros
+// walk over n bits regardless of the group count.
+func (m *Model) rebuildLabels() {
+	if len(m.labels) != m.n {
+		m.labels = make([]int32, m.n)
+	}
+	for gi, g := range m.groups {
+		id := int32(gi)
+		for wi, w := range g.Members.Words() {
+			base := wi * 64
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &= w - 1
+				m.labels[base+b] = id
+			}
+		}
+	}
+}
+
 // Clone returns a deep copy of the model (used by what-if scoring).
 func (m *Model) Clone() *Model {
 	out := &Model{
@@ -147,30 +182,40 @@ func (m *Model) Clone() *Model {
 	}
 	out.groups = make([]*Group, len(m.groups))
 	for i, g := range m.groups {
+		// Sigma (and its factorization cache) is shared, not copied:
+		// covariance matrices are never mutated in place — a spread
+		// update replaces the matrix wholesale (see spreadConstraint.
+		// apply) — so sharing is safe and keeps Clone O(groups·d) for
+		// the location-only regime where Theorem 1 leaves Σ untouched.
 		out.groups[i] = &Group{
 			Members: g.Members.Clone(),
 			Count:   g.Count,
 			Mu:      g.Mu.Clone(),
-			Sigma:   g.Sigma.Clone(),
+			Sigma:   g.Sigma,
+			chol:    g.chol,
 		}
 	}
+	out.labels = append([]int32(nil), m.labels...)
 	out.cons = append([]constraint(nil), m.cons...)
 	return out
 }
 
-// GroupOf returns the group containing point i (linear scan over groups;
-// group counts stay small).
+// GroupOf returns the group containing point i, resolved through the
+// dense labeling in O(1).
 func (m *Model) GroupOf(i int) *Group {
-	for _, g := range m.groups {
-		if g.Members.Contains(i) {
-			return g
-		}
+	if i < 0 || i >= m.n {
+		return nil
 	}
-	return nil
+	return m.groups[m.labels[i]]
 }
 
 // split refines the partition so every group is fully inside or outside
-// ext.
+// ext, and rebuilds the dense labeling to match. The two halves of a
+// split group share the parent's Sigma (and factorization cache) — a
+// location commit never touches covariances (Theorem 1), and a spread
+// commit replaces matrices instead of mutating them, so the halves stay
+// correct with zero d×d copies until a spread update actually diverges
+// them.
 func (m *Model) split(ext *bitset.Set) {
 	var out []*Group
 	for _, g := range m.groups {
@@ -182,35 +227,32 @@ func (m *Model) split(ext *bitset.Set) {
 		}
 		outside := g.Members.AndNot(ext)
 		out = append(out,
-			&Group{Members: in, Count: ic, Mu: g.Mu.Clone(), Sigma: g.Sigma.Clone()},
-			&Group{Members: outside, Count: g.Count - ic, Mu: g.Mu.Clone(), Sigma: g.Sigma.Clone()},
+			&Group{Members: in, Count: ic, Mu: g.Mu.Clone(), Sigma: g.Sigma, chol: g.chol},
+			&Group{Members: outside, Count: g.Count - ic, Mu: g.Mu.Clone(), Sigma: g.Sigma, chol: g.chol},
 		)
 	}
 	m.groups = out
+	m.rebuildLabels()
 }
 
 // insideGroups returns the groups fully contained in ext, assuming split
-// has aligned the partition, along with the total point count.
+// has aligned the partition, along with the total point count. One
+// fused label pass over ext replaces the former per-group walk (a full
+// ForEach scan for the first member plus an AND-popcount pass per
+// group), so constraint replay during coordinate descent costs
+// O(n/64 + |ext| + #groups) per constraint instead of
+// O(#groups · n/64).
 func (m *Model) insideGroups(ext *bitset.Set) ([]*Group, int) {
+	m.gcScratch = m.CountByGroup(ext, m.gcScratch)
 	var gs []*Group
 	total := 0
-	for _, g := range m.groups {
-		if ext.Contains(firstMember(g.Members)) && g.Members.IntersectCount(ext) == g.Count {
+	for gi, g := range m.groups {
+		if int(m.gcScratch[gi]) == g.Count {
 			gs = append(gs, g)
 			total += g.Count
 		}
 	}
 	return gs, total
-}
-
-func firstMember(s *bitset.Set) int {
-	first := -1
-	s.ForEach(func(i int) {
-		if first < 0 {
-			first = i
-		}
-	})
-	return first
 }
 
 // SubgroupMeanMarginal returns the marginal distribution of the subgroup
@@ -252,21 +294,58 @@ type GroupStats struct {
 // center (normally the subgroup mean ŷ_I): the projected variances
 // wᵀΣw and mean shifts wᵀ(ŷ_I − µ). The extension need not align with
 // group boundaries.
+//
+// The per-group intersection counts come from one fused trailing-zeros
+// pass over ext via the dense labeling — O(n/64 + |I|) instead of one
+// AND-popcount pass per group — and the projected variance is computed
+// once per distinct Σ matrix (split siblings share Σ by pointer until a
+// spread commit diverges them).
 func (m *Model) SpreadStats(ext *bitset.Set, w, center mat.Vec) []GroupStats {
+	counts := m.CountByGroup(ext, nil)
 	var out []GroupStats
-	for _, g := range m.groups {
-		ic := g.Members.IntersectCount(ext)
+	var prevSigma *mat.Dense
+	var prevS float64
+	for gi, g := range m.groups {
+		ic := counts[gi]
 		if ic == 0 {
 			continue
 		}
-		sw := g.Sigma.MulVec(w)
+		if g.Sigma != prevSigma {
+			prevSigma = g.Sigma
+			prevS = w.Dot(g.Sigma.MulVec(w))
+		}
 		out = append(out, GroupStats{
-			Count:     ic,
-			S:         w.Dot(sw),
+			Count:     int(ic),
+			S:         prevS,
 			MeanShift: w.Dot(center.Sub(g.Mu)),
 		})
 	}
 	return out
+}
+
+// CountByGroup accumulates |ext ∩ group| for every group in one
+// trailing-zeros pass over ext, writing into counts (reallocated when
+// too small) and returning it. This is the fused sufficient-statistics
+// kernel: cost O(n/64 + |ext|) regardless of the group count.
+func (m *Model) CountByGroup(ext *bitset.Set, counts []int32) []int32 {
+	if cap(counts) < len(m.groups) {
+		counts = make([]int32, len(m.groups))
+	} else {
+		counts = counts[:len(m.groups)]
+		for i := range counts {
+			counts[i] = 0
+		}
+	}
+	labels := m.labels
+	for wi, w := range ext.Words() {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			counts[labels[base+b]]++
+		}
+	}
+	return counts
 }
 
 // DistinctSigmaChols returns the Cholesky factorization shared by all
@@ -280,7 +359,10 @@ func (m *Model) DistinctSigmaChols() (chol *mat.Cholesky, ok bool, err error) {
 	}
 	first := m.groups[0]
 	for _, g := range m.groups[1:] {
-		if g.Sigma.MaxAbsDiff(first.Sigma) > 0 {
+		// Location-only models share one Σ by pointer (split never
+		// copies), so the common case is a pointer compare; the value
+		// compare remains for matrices that are equal but distinct.
+		if g.Sigma != first.Sigma && g.Sigma.MaxAbsDiff(first.Sigma) > 0 {
 			return nil, false, nil
 		}
 	}
@@ -291,16 +373,20 @@ func (m *Model) DistinctSigmaChols() (chol *mat.Cholesky, ok bool, err error) {
 	return c, true, nil
 }
 
-// snapshotGroups deep-copies the current group parameters so a failed
-// commit can be rolled back.
+// snapshotGroups copies the current group parameters so a failed commit
+// can be rolled back. Only Mu needs a deep copy: the coordinate descent
+// mutates means in place, but member bitsets are never mutated after
+// construction and covariance matrices are replaced (never written)
+// by spread updates, so both are shared with the live groups.
 func (m *Model) snapshotGroups() []*Group {
 	out := make([]*Group, len(m.groups))
 	for i, g := range m.groups {
 		out[i] = &Group{
-			Members: g.Members.Clone(),
+			Members: g.Members,
 			Count:   g.Count,
 			Mu:      g.Mu.Clone(),
-			Sigma:   g.Sigma.Clone(),
+			Sigma:   g.Sigma,
+			chol:    g.chol,
 		}
 	}
 	return out
@@ -319,10 +405,12 @@ func (m *Model) CommitLocation(ext *bitset.Set, yhat mat.Vec) error {
 		return fmt.Errorf("background: location target has dim %d, want %d", len(yhat), m.d)
 	}
 	saved := m.snapshotGroups()
+	savedLabels := append([]int32(nil), m.labels...)
 	m.split(ext)
 	m.cons = append(m.cons, &locationConstraint{ext: ext.Clone(), target: yhat.Clone()})
 	if err := m.refit(); err != nil {
 		m.groups = saved
+		m.labels = savedLabels
 		m.cons = m.cons[:len(m.cons)-1]
 		return err
 	}
@@ -350,12 +438,14 @@ func (m *Model) CommitSpread(ext *bitset.Set, w mat.Vec, center mat.Vec, value f
 		return fmt.Errorf("background: w must be a unit vector (norm %v)", nrm)
 	}
 	saved := m.snapshotGroups()
+	savedLabels := append([]int32(nil), m.labels...)
 	m.split(ext)
 	m.cons = append(m.cons, &spreadConstraint{
 		ext: ext.Clone(), w: w.Clone(), center: center.Clone(), value: value,
 	})
 	if err := m.refit(); err != nil {
 		m.groups = saved
+		m.labels = savedLabels
 		m.cons = m.cons[:len(m.cons)-1]
 		return err
 	}
@@ -430,25 +520,46 @@ func (c *spreadConstraint) apply(m *Model) (float64, error) {
 	if total == 0 {
 		return 0, ErrNoPoints
 	}
-	type gstat struct {
-		g      *Group
-		s, b   float64
+	// Split halves (and rolled-back snapshots) share Σ by pointer until a
+	// spread update diverges them, so the Σ-derived quantities — the
+	// projected variance s = wᵀΣw, the vector Σw, and the updated matrix
+	// itself — are computed once per distinct matrix, not once per group.
+	type sigStat struct {
+		sigma  *mat.Dense
 		sigmaW mat.Vec
-		count  float64
+		s      float64
+	}
+	var sigs []sigStat
+	type gstat struct {
+		g     *Group
+		sig   int // index into sigs
+		s, b  float64
+		count float64
 	}
 	stats := make([]gstat, len(gs))
 	maxS := 0.0
 	for i, g := range gs {
-		sw := g.Sigma.MulVec(c.w)
-		s := c.w.Dot(sw)
-		if s <= 0 {
-			return 0, fmt.Errorf("background: non-positive projected variance %v", s)
+		si := -1
+		for j := range sigs {
+			if sigs[j].sigma == g.Sigma {
+				si = j
+				break
+			}
 		}
-		stats[i] = gstat{g: g, s: s, b: c.w.Dot(c.center.Sub(g.Mu)), sigmaW: sw,
-			count: float64(g.Count)}
-		if s > maxS {
-			maxS = s
+		if si < 0 {
+			sw := g.Sigma.MulVec(c.w)
+			s := c.w.Dot(sw)
+			if s <= 0 {
+				return 0, fmt.Errorf("background: non-positive projected variance %v", s)
+			}
+			sigs = append(sigs, sigStat{sigma: g.Sigma, sigmaW: sw, s: s})
+			si = len(sigs) - 1
+			if s > maxS {
+				maxS = s
+			}
 		}
+		stats[i] = gstat{g: g, sig: si, s: sigs[si].s,
+			b: c.w.Dot(c.center.Sub(g.Mu)), count: float64(g.Count)}
 	}
 	target := float64(total) * c.value
 	lhs := func(lambda float64) float64 {
@@ -494,21 +605,36 @@ func (c *spreadConstraint) apply(m *Model) (float64, error) {
 	}
 	lambda := (lo + hi) / 2
 
-	for _, st := range stats {
-		den := 1 + lambda*st.s
-		// Eq. 10: µ ← µ + λ·wᵀ(ŷ_I−µ)·Σw/(1+λs).
-		st.g.Mu.AddScaled(lambda*st.b/den, st.sigmaW)
-		// Eq. 11: Σ ← Σ − λ·(Σw)(Σw)ᵀ/(1+λs).
-		st.g.Sigma.AddOuterScaled(-lambda/den, st.sigmaW, st.sigmaW)
-		st.g.Sigma.Symmetrize()
-		st.g.invalidate()
+	// Eq. 11 per distinct matrix: the update Σ ← Σ − λ·(Σw)(Σw)ᵀ/(1+λs)
+	// depends only on Σ and w, so groups sharing a matrix get one shared
+	// replacement (never an in-place write — snapshots, clones and split
+	// siblings referencing the old matrix stay untouched).
+	type sigUpdate struct {
+		sigma *mat.Dense
+		chol  *mat.Cholesky
+	}
+	updated := make([]sigUpdate, len(sigs))
+	for i := range sigs {
+		den := 1 + lambda*sigs[i].s
+		next := sigs[i].sigma.Clone()
+		next.AddOuterScaled(-lambda/den, sigs[i].sigmaW, sigs[i].sigmaW)
+		next.Symmetrize()
 		// Theorem 2 preserves positive definiteness in exact arithmetic
 		// (1+λs > 0); extreme squeezes can still underflow numerically,
 		// which must surface as an error (the commit rolls back), not as
 		// a silently broken model.
-		if _, err := st.g.Chol(); err != nil {
+		chol, err := mat.NewCholesky(next)
+		if err != nil {
 			return 0, fmt.Errorf("background: spread update made a covariance numerically singular: %w", err)
 		}
+		updated[i] = sigUpdate{sigma: next, chol: chol}
+	}
+	for _, st := range stats {
+		den := 1 + lambda*st.s
+		// Eq. 10: µ ← µ + λ·wᵀ(ŷ_I−µ)·Σw/(1+λs).
+		st.g.Mu.AddScaled(lambda*st.b/den, sigs[st.sig].sigmaW)
+		st.g.Sigma = updated[st.sig].sigma
+		st.g.chol = updated[st.sig].chol
 	}
 	return violation, nil
 }

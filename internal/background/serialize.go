@@ -109,30 +109,54 @@ func loadJSON(r io.Reader, replay bool) (*Model, error) {
 		m.MaxSweeps = 5000
 	}
 	covered := 0
+	// Re-share bit-identical covariances: a live model shares Σ by
+	// pointer across split siblings (and across groups a spread update
+	// rewrote from the same parent matrix), so a restored model must
+	// reproduce that structure for the pointer-keyed kernels downstream
+	// (shared-Σ fast path, spread dedup) to behave — and sum in the
+	// same order — as on the live model. Each loaded matrix is compared
+	// against the distinct representatives only (typically one), and
+	// factorized (which doubles as the SPD validation) once per
+	// distinct matrix, not once per group.
+	var distinct []*Group
 	for gi, g := range in.Groups {
 		if len(g.Mu) != in.D || len(g.Sigma) != in.D*in.D {
 			return nil, fmt.Errorf("background: group %d has inconsistent dimensions", gi)
 		}
 		sigma := mat.NewDense(in.D, in.D)
 		copy(sigma.Data, g.Sigma)
-		if _, err := mat.NewCholesky(sigma); err != nil {
-			return nil, fmt.Errorf("background: group %d covariance not SPD: %w", gi, err)
-		}
 		members := bitset.FromIndices(in.N, g.Members)
 		if members.Count() != len(g.Members) {
 			return nil, fmt.Errorf("background: group %d has duplicate members", gi)
 		}
 		covered += members.Count()
-		m.groups = append(m.groups, &Group{
+		grp := &Group{
 			Members: members,
 			Count:   members.Count(),
 			Mu:      append(mat.Vec(nil), g.Mu...),
-			Sigma:   sigma,
-		})
+		}
+		for _, have := range distinct {
+			if have.Sigma.MaxAbsDiff(sigma) == 0 {
+				grp.Sigma = have.Sigma
+				grp.chol = have.chol
+				break
+			}
+		}
+		if grp.Sigma == nil {
+			chol, err := mat.NewCholesky(sigma)
+			if err != nil {
+				return nil, fmt.Errorf("background: group %d covariance not SPD: %w", gi, err)
+			}
+			grp.Sigma = sigma
+			grp.chol = chol
+			distinct = append(distinct, grp)
+		}
+		m.groups = append(m.groups, grp)
 	}
 	if covered != in.N {
 		return nil, fmt.Errorf("background: groups cover %d of %d points", covered, in.N)
 	}
+	m.rebuildLabels()
 	for ci, c := range in.Constraints {
 		ext := bitset.FromIndices(in.N, c.Ext)
 		switch c.Kind {

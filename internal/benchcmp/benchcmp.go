@@ -109,6 +109,56 @@ func ReadJSON(r io.Reader) (map[string]Entry, error) {
 	return out, nil
 }
 
+// WriteMarkdown emits a before/after comparison of two runs as a
+// GitHub-flavored markdown table — the human-readable artifact the CI
+// bench job uploads next to the raw JSON. Benchmarks are listed by
+// name; entries present on only one side are marked instead of
+// silently dropped.
+func WriteMarkdown(w io.Writer, baseline, current map[string]Entry) error {
+	names := map[string]bool{}
+	for n := range baseline {
+		names[n] = true
+	}
+	for n := range current {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	if _, err := fmt.Fprintf(w, "| Benchmark | ns/op (base) | ns/op (current) | Δ ns/op | allocs/op (base) | allocs/op (current) |\n|---|---:|---:|---:|---:|---:|\n"); err != nil {
+		return err
+	}
+	fmtNs := func(e Entry, ok bool) string {
+		if !ok {
+			return "—"
+		}
+		return fmt.Sprintf("%.0f", e.NsPerOp)
+	}
+	fmtAllocs := func(e Entry, ok bool) string {
+		if !ok || !e.HasAllocs {
+			return "—"
+		}
+		return fmt.Sprintf("%.0f", e.AllocsPerOp)
+	}
+	for _, n := range sorted {
+		base, bok := baseline[n]
+		cur, cok := current[n]
+		delta := "—"
+		if bok && cok && base.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(cur.NsPerOp-base.NsPerOp)/base.NsPerOp)
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			n, fmtNs(base, bok), fmtNs(cur, cok), delta,
+			fmtAllocs(base, bok), fmtAllocs(cur, cok)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Regression is one metric of one benchmark exceeding its threshold.
 type Regression struct {
 	Name    string  `json:"name"`

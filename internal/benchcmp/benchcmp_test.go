@@ -123,3 +123,36 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("self-compare failed: %+v", res)
 	}
 }
+
+func TestWriteMarkdown(t *testing.T) {
+	base := map[string]Entry{
+		"A":       {Name: "A", NsPerOp: 1e6, AllocsPerOp: 1000, HasAllocs: true},
+		"Removed": {Name: "Removed", NsPerOp: 5e5},
+	}
+	cur := map[string]Entry{
+		"A":     {Name: "A", NsPerOp: 5e5, AllocsPerOp: 10, HasAllocs: true},
+		"Added": {Name: "Added", NsPerOp: 2e6},
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, base, cur); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + separator + three benchmarks, sorted by name.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "| A ") || !strings.Contains(lines[2], "-50.0%") {
+		t.Fatalf("A row wrong: %s", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "| Added ") || !strings.Contains(lines[3], "| — |") {
+		t.Fatalf("Added row must mark the missing baseline side: %s", lines[3])
+	}
+	if !strings.HasPrefix(lines[4], "| Removed ") {
+		t.Fatalf("Removed row missing: %s", lines[4])
+	}
+	if strings.Count(lines[2], "|") != 7 {
+		t.Fatalf("A row has wrong column count: %s", lines[2])
+	}
+}

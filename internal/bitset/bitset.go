@@ -65,6 +65,24 @@ func (s *Set) Contains(i int) bool {
 	return s.words[i/64]&(1<<uint(i%64)) != 0
 }
 
+// First returns the smallest set index, or -1 when the set is empty.
+// Unlike a ForEach walk it stops at the first nonzero word, so callers
+// probing a known-nonempty set pay O(1) in the common case.
+func (s *Set) First() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Words exposes the backing word slice (bit i lives at words[i/64],
+// position i%64). It is the raw form consumed by fused kernels that
+// fold a trailing-zeros walk and per-point accumulation into one pass;
+// callers must treat the slice as read-only.
+func (s *Set) Words() []uint64 { return s.words }
+
 // Count returns the number of set bits.
 func (s *Set) Count() int {
 	c := 0
@@ -206,7 +224,3 @@ func FromIndices(n int, idx []int) *Set {
 	}
 	return s
 }
-
-// Words exposes the raw words for read-only kernels (e.g. masked column
-// sums). Callers must not modify the returned slice.
-func (s *Set) Words() []uint64 { return s.words }

@@ -199,10 +199,12 @@ func SplitPoints(c *Column, k int) []float64 {
 	if k < 1 {
 		panic("dataset: SplitPoints needs k >= 1")
 	}
+	sortedVals := append([]float64(nil), c.Values...)
+	sort.Float64s(sortedVals)
 	out := make([]float64, 0, k)
 	for i := 1; i <= k; i++ {
 		p := 100 * float64(i) / float64(k+1)
-		out = append(out, stats.Percentile(c.Values, p))
+		out = append(out, stats.PercentileSorted(sortedVals, p))
 	}
 	sort.Float64s(out)
 	// Deduplicate near-equal thresholds (constant or heavily tied columns).

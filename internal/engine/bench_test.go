@@ -1,0 +1,100 @@
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/background"
+	"repro/internal/bitset"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/mat"
+	"repro/internal/si"
+)
+
+// benchEvaluator builds an evaluator over the synthetic dataset with an
+// SI scorer whose model carries `commits` committed location patterns —
+// the many-groups regime that used to scale per-candidate cost with the
+// group count.
+func benchEvaluator(b *testing.B, commits int) (*engine.Evaluator, []engine.Candidate) {
+	b.Helper()
+	ds := gen.Synthetic620(gen.SeedSynthetic).DS
+	m, err := background.New(ds.N(), make(mat.Vec, ds.Dy()), mat.Eye(ds.Dy()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	target := make(mat.Vec, ds.Dy())
+	for c := 0; c < commits; c++ {
+		ext := bitset.New(ds.N())
+		lo := rng.Intn(ds.N() - 60)
+		for i := lo; i < lo+40+rng.Intn(60) && i < ds.N(); i++ {
+			ext.Add(i)
+		}
+		target[0] = 0.05 * float64(c%3)
+		if err := m.CommitLocation(ext, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sc, err := si.NewLocationScorer(m, ds.Y, si.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lang := engine.LanguageFor(ds, 4)
+	ev := engine.NewEvaluator(lang, sc, engine.Options{Parallelism: 1, MinSupport: 2})
+
+	// A representative level-2 batch: every condition refining every
+	// condition extension (capped), plus the level-1 nil-parent batch is
+	// benchmarked separately.
+	var cands []engine.Candidate
+	for p := 0; p < len(lang.Conds) && p < 20; p++ {
+		for c := range lang.Conds {
+			if c == p {
+				continue
+			}
+			lo, hi := engine.CondID(p), engine.CondID(c)
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			cands = append(cands, engine.Candidate{
+				Parent: lang.Exts[p],
+				Cond:   engine.CondID(c),
+				Ids:    []engine.CondID{lo, hi},
+			})
+		}
+	}
+	return ev, cands
+}
+
+// BenchmarkEvaluateBatchDepth1ManyGroups measures a full level-1 batch
+// (nil parents) against a 32-commit model: with the depth-1 sufficient-
+// statistics table every candidate is scored without touching a bitset.
+func BenchmarkEvaluateBatchDepth1ManyGroups(b *testing.B) {
+	ev, _ := benchEvaluator(b, 32)
+	lang := engine.LanguageFor(gen.Synthetic620(gen.SeedSynthetic).DS, 4)
+	cands := make([]engine.Candidate, len(lang.Conds))
+	for i := range lang.Conds {
+		cands[i] = engine.Candidate{Cond: engine.CondID(i), Ids: []engine.CondID{engine.CondID(i)}}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, timedOut := ev.EvaluateBatch(cands); timedOut {
+			b.Fatal("unexpected timeout")
+		}
+	}
+}
+
+// BenchmarkEvaluateBatchDeepManyGroups measures a deep (level-2 style)
+// batch against a 32-commit model: one fused AndCountInto + label-pass
+// scoring per candidate, independent of the group count.
+func BenchmarkEvaluateBatchDeepManyGroups(b *testing.B) {
+	ev, cands := benchEvaluator(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, timedOut := ev.EvaluateBatch(cands); timedOut {
+			b.Fatal("unexpected timeout")
+		}
+	}
+}

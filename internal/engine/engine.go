@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -30,6 +31,42 @@ import (
 // ext, which is worker-owned scratch.
 type Scorer interface {
 	Score(ext *bitset.Set, numConds int) (si, ic float64, mean mat.Vec, ok bool)
+}
+
+// ScorerWorker is a single-goroutine scoring context with reusable
+// internal scratch: its steady-state Score path performs no heap
+// allocations. The returned mean is worker-owned scratch, valid only
+// until the worker's next call — callers clone what they retain.
+type ScorerWorker interface {
+	Score(ext *bitset.Set, numConds int) (si, ic float64, mean mat.Vec, ok bool)
+}
+
+// WorkerScorer is a Scorer that can mint independent per-goroutine
+// workers. The engine gives each evaluation goroutine its own worker,
+// making the whole batch-scoring path allocation-free.
+type WorkerScorer interface {
+	Scorer
+	NewWorker() ScorerWorker
+}
+
+// StatScorerWorker scores a candidate directly from sufficient
+// statistics — the per-group intersection counts of the extension and
+// the sum of target rows over it — with no bitset pass at all. Both
+// slices are caller-owned and must not be modified or retained. Workers
+// must produce bit-identical results through Score and ScoreStats.
+type StatScorerWorker interface {
+	ScorerWorker
+	ScoreStats(counts []int32, ysum mat.Vec, size, numConds int) (si, ic float64, mean mat.Vec, ok bool)
+}
+
+// GroupLabeler exposes a scorer's dense per-point group labeling so the
+// evaluator can precompute per-condition sufficient statistics (the
+// depth-1 table). Labels()[i] must index a fixed partition of the
+// points into NumGroups() groups, matching the counts ScoreStats
+// expects.
+type GroupLabeler interface {
+	NumGroups() int
+	Labels() []int32
 }
 
 // Options configure an Evaluator.
@@ -51,17 +88,26 @@ func (o Options) withDefaults() Options {
 
 // Candidate is one unscored subgroup refinement: the parent's extension
 // and the condition to intersect it with. Ids is the candidate's full
-// canonical intention (ascending CondIDs, including Cond).
+// canonical intention (ascending CondIDs, including Cond). A nil Parent
+// means the full dataset — the level-1 form that lets the evaluator
+// skip the intersection entirely (the extension IS the condition's) and
+// score from the precomputed depth-1 table when the scorer supports it.
 type Candidate struct {
 	Parent *bitset.Set
 	Cond   CondID
 	Ids    []CondID
 }
 
-// Scored is one accepted (supported, scoreable) candidate. Ext is an
-// independent copy, safe to keep as a beam parent or result.
+// Scored is one accepted (supported, scoreable) candidate. EvaluateBatch
+// returns it *unmaterialized* — Ext and Mean are nil; Cand indexes the
+// candidate within its batch — so that candidates which never survive
+// beam/log selection cost no allocations. Callers pass the survivors to
+// Evaluator.Materialize, which fills Ext (an independent copy, safe to
+// keep as a beam parent or result) and Mean with values bit-identical
+// to the ones scored.
 type Scored struct {
 	Ids    []CondID
+	Cand   int
 	Ext    *bitset.Set
 	Size   int
 	SI, IC float64
@@ -90,30 +136,108 @@ func lessIDs(a, b []CondID) bool {
 }
 
 // Evaluator scores batches of candidates against one Language and
-// Scorer, reusing per-worker scratch bitsets across batches. An
-// Evaluator is cheap to create per search; it must not be shared
-// between concurrent searches.
+// Scorer, reusing per-worker scratch bitsets (and, for WorkerScorers,
+// per-worker scorer scratch) across batches. An Evaluator is cheap to
+// create per search; it must not be shared between concurrent searches.
 type Evaluator struct {
 	lang    *Language
 	sc      Scorer
 	opt     Options
 	scratch []*bitset.Set
+	full    *bitset.Set
+
+	// workers[i] is goroutine i's scoring context when sc is a
+	// WorkerScorer; nil entries fall back to the concurrent sc.Score.
+	workers []ScorerWorker
+	// statWorkers mirrors workers when they support stat scoring.
+	statWorkers []StatScorerWorker
+	// d1 is the depth-1 sufficient-statistics table: per-condition
+	// per-group counts plus the Language-cached target sums, letting
+	// level-1 candidates be scored with no bitset pass at all. Non-nil
+	// only when the scorer exposes its group labeling.
+	d1 *depthOneTable
+}
+
+type depthOneTable struct {
+	counts [][]int32 // per condition, per group: |ext(c) ∩ group|
+	sums   []mat.Vec // per condition: Σ_{i∈ext(c)} yᵢ (Language-cached)
+	sizes  []int     // per condition: |ext(c)| (Language-cached)
 }
 
 // NewEvaluator builds an evaluator over the language.
 func NewEvaluator(lang *Language, sc Scorer, opt Options) *Evaluator {
 	opt = opt.withDefaults()
-	scratch := make([]*bitset.Set, opt.Parallelism)
-	for i := range scratch {
-		scratch[i] = bitset.New(lang.DS.N())
+	e := &Evaluator{lang: lang, sc: sc, opt: opt}
+	e.scratch = make([]*bitset.Set, opt.Parallelism)
+	for i := range e.scratch {
+		e.scratch[i] = bitset.New(lang.DS.N())
 	}
-	return &Evaluator{lang: lang, sc: sc, opt: opt, scratch: scratch}
+	e.full = bitset.Full(lang.DS.N())
+	if ws, ok := sc.(WorkerScorer); ok {
+		e.workers = make([]ScorerWorker, opt.Parallelism)
+		e.statWorkers = make([]StatScorerWorker, opt.Parallelism)
+		allStat := true
+		for i := range e.workers {
+			w := ws.NewWorker()
+			e.workers[i] = w
+			if sw, ok := w.(StatScorerWorker); ok {
+				e.statWorkers[i] = sw
+			} else {
+				allStat = false
+			}
+		}
+		if gl, ok := sc.(GroupLabeler); ok && allStat {
+			e.d1 = buildDepthOne(lang, gl)
+		} else {
+			e.statWorkers = nil
+		}
+	}
+	return e
+}
+
+// buildDepthOne precomputes, for every condition, the per-group
+// intersection counts of its extension under the scorer's labeling —
+// one trailing-zeros pass per condition, backed by a single allocation.
+// Together with the Language's cached per-condition target sums this is
+// everything a StatScorerWorker needs, so scoring the whole first level
+// touches no bitsets.
+func buildDepthOne(lang *Language, gl GroupLabeler) *depthOneTable {
+	labels := gl.Labels()
+	ng := gl.NumGroups()
+	if ng == 0 || len(labels) != lang.DS.N() {
+		return nil
+	}
+	sums, sizes := lang.CondTargetStats()
+	counts := make([][]int32, len(lang.Exts))
+	buf := make([]int32, ng*len(lang.Exts))
+	for ci, ext := range lang.Exts {
+		c := buf[ci*ng : (ci+1)*ng : (ci+1)*ng]
+		if ng == 1 {
+			// Fresh model: the only group's count is the extension size.
+			c[0] = int32(sizes[ci])
+		} else {
+			for wi, w := range ext.Words() {
+				base := wi * 64
+				for w != 0 {
+					b := bits.TrailingZeros64(w)
+					w &= w - 1
+					c[labels[base+b]]++
+				}
+			}
+		}
+		counts[ci] = c
+	}
+	return &depthOneTable{counts: counts, sums: sums, sizes: sizes}
 }
 
 // EvaluateBatch scores all candidates in parallel and returns the
 // accepted ones sorted by the engine ordering (SI descending,
-// deterministic regardless of scheduling). Rejected candidates — below
-// MinSupport or refused by the scorer — cost no allocations.
+// deterministic regardless of scheduling). The results are
+// unmaterialized (nil Ext and Mean — see Scored); with a WorkerScorer
+// the entire batch costs no per-candidate allocations: level-1
+// candidates (nil Parent) are scored straight from the depth-1 table,
+// deeper ones through one fused AndCountInto + worker-scratch scoring
+// pass.
 //
 // When the evaluator's Deadline expires mid-batch the whole batch is
 // abandoned and timedOut is true with a nil result: a partial level is
@@ -139,7 +263,6 @@ func (e *Evaluator) EvaluateBatch(cands []Candidate) (kept []Scored, timedOut bo
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			scratch := e.scratch[w]
 			for i := lo; i < hi; i++ {
 				if checkDeadline && (i-lo)&63 == 0 {
 					if expired.Load() {
@@ -150,21 +273,15 @@ func (e *Evaluator) EvaluateBatch(cands []Candidate) (kept []Scored, timedOut bo
 						return
 					}
 				}
-				c := &cands[i]
-				size := bitset.AndCountInto(scratch, c.Parent, e.lang.Exts[c.Cond])
-				if size < e.opt.MinSupport {
-					continue
-				}
-				si, ic, mean, ok := e.sc.Score(scratch, len(c.Ids))
+				si, ic, size, ok := e.scoreCandidate(w, &cands[i])
 				if !ok {
 					continue
 				}
 				out[i] = Scored{
-					Ids:  c.Ids,
-					Ext:  scratch.Clone(),
+					Ids:  cands[i].Ids,
+					Cand: i,
 					Size: size,
 					SI:   si, IC: ic,
-					Mean: mean,
 				}
 				valid[i] = true
 			}
@@ -183,6 +300,74 @@ func (e *Evaluator) EvaluateBatch(cands []Candidate) (kept []Scored, timedOut bo
 	}
 	SortScored(kept)
 	return kept, false
+}
+
+// scoreCandidate evaluates one candidate on evaluation goroutine w,
+// discarding the (scratch) mean — the batch path; Materialize re-derives
+// the mean only for retained candidates.
+func (e *Evaluator) scoreCandidate(w int, c *Candidate) (si, ic float64, size int, ok bool) {
+	if c.Parent == nil && e.d1 != nil {
+		size = e.d1.sizes[c.Cond]
+		if size < e.opt.MinSupport {
+			return 0, 0, 0, false
+		}
+		si, ic, _, ok = e.statWorkers[w].ScoreStats(
+			e.d1.counts[c.Cond], e.d1.sums[c.Cond], size, len(c.Ids))
+		return si, ic, size, ok
+	}
+	parent := c.Parent
+	if parent == nil {
+		parent = e.full
+	}
+	scratch := e.scratch[w]
+	size = bitset.AndCountInto(scratch, parent, e.lang.Exts[c.Cond])
+	if size < e.opt.MinSupport {
+		return 0, 0, 0, false
+	}
+	if e.workers != nil {
+		si, ic, _, ok = e.workers[w].Score(scratch, len(c.Ids))
+	} else {
+		si, ic, _, ok = e.sc.Score(scratch, len(c.Ids))
+	}
+	return si, ic, size, ok
+}
+
+// Materialize fills Ext and Mean for a scored candidate the caller is
+// about to retain (beam parent, top-k entry). The extension is
+// recomputed with the same intersection kernel and the mean re-derived
+// by the same scoring path, so materialized values are bit-identical to
+// the ones EvaluateBatch ranked on; only the handful of survivors per
+// level pay the two clones. cands must be the batch the Scored came
+// from. No-op when already materialized.
+func (e *Evaluator) Materialize(cands []Candidate, s *Scored) {
+	if s.Ext != nil {
+		return
+	}
+	c := &cands[s.Cand]
+	if c.Parent == nil {
+		s.Ext = e.lang.Exts[c.Cond].Clone()
+		if e.d1 != nil {
+			_, _, mean, ok := e.statWorkers[0].ScoreStats(
+				e.d1.counts[c.Cond], e.d1.sums[c.Cond], e.d1.sizes[c.Cond], len(c.Ids))
+			if ok {
+				s.Mean = mean.Clone()
+			}
+			return
+		}
+	} else {
+		ext := bitset.New(e.lang.DS.N())
+		bitset.AndCountInto(ext, c.Parent, e.lang.Exts[c.Cond])
+		s.Ext = ext
+	}
+	// Score the just-built extension directly — same bits as the batch
+	// pass, so the same floats come back.
+	if e.workers != nil {
+		if _, _, mean, ok := e.workers[0].Score(s.Ext, len(c.Ids)); ok {
+			s.Mean = mean.Clone()
+		}
+	} else if _, _, mean, ok := e.sc.Score(s.Ext, len(c.Ids)); ok {
+		s.Mean = mean
+	}
 }
 
 // SortScored sorts by the engine ordering: SI descending, canonical

@@ -84,7 +84,12 @@ func TestEvaluateBatchMatchesDirectScoring(t *testing.T) {
 		if timedOut {
 			t.Fatal("no deadline was set")
 		}
-		for k, s := range got {
+		for k := range got {
+			s := &got[k]
+			if s.Ext != nil {
+				t.Fatalf("par=%d: batch results must be unmaterialized", par)
+			}
+			ev.Materialize(cands, s)
 			if s.Ext.Count() != s.Size {
 				t.Fatalf("par=%d: stored size %d != extension count %d", par, s.Size, s.Ext.Count())
 			}
@@ -120,6 +125,7 @@ func TestEvaluateBatchScratchIsolation(t *testing.T) {
 	if len(first) != 1 {
 		t.Fatal("candidate rejected")
 	}
+	ev.Materialize(cands, &first[0])
 	snapshot := first[0].Ext.Clone()
 	ev.EvaluateBatch([]Candidate{{Parent: full, Cond: 1, Ids: []CondID{1}}})
 	if !first[0].Ext.Equal(snapshot) {

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"math/bits"
 	"sync"
 	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/mat"
 	"repro/internal/pattern"
 )
 
@@ -20,6 +22,14 @@ type Language struct {
 	DS    *dataset.Dataset
 	Conds []pattern.Condition
 	Exts  []*bitset.Set
+
+	// Depth-1 sufficient statistics, built lazily once per Language:
+	// every condition's target-row sum and extension size depend only on
+	// the (immutable) dataset, so they are shared by every search,
+	// session and model state working on it.
+	statsOnce sync.Once
+	condSums  []mat.Vec
+	condSizes []int
 }
 
 // CondID indexes a condition within its Language. Intentions are
@@ -119,6 +129,42 @@ func EvictLanguage(ds *dataset.Dataset) {
 		}
 	}
 	langCache.order = keep
+}
+
+// CondTargetStats returns, for every condition, the sum of target rows
+// over its extension (Σ_{i∈ext(c)} yᵢ) and the extension size. Both are
+// model-independent, so they are computed once per Language (two
+// backing allocations) and cached. The sums accumulate in increasing
+// point order — the same order as the fused scoring kernels — so
+// stat-scored and extension-scored candidates produce bit-identical
+// floats.
+func (l *Language) CondTargetStats() (sums []mat.Vec, sizes []int) {
+	l.statsOnce.Do(func() {
+		y := l.DS.Y
+		d := y.C
+		l.condSums = make([]mat.Vec, len(l.Exts))
+		l.condSizes = make([]int, len(l.Exts))
+		buf := make(mat.Vec, d*len(l.Exts))
+		for ci, ext := range l.Exts {
+			sum := buf[ci*d : (ci+1)*d : (ci+1)*d]
+			cnt := 0
+			for wi, w := range ext.Words() {
+				base := wi * 64
+				for w != 0 {
+					b := bits.TrailingZeros64(w)
+					w &= w - 1
+					row := y.Data[(base+b)*d : (base+b)*d+d]
+					for j, v := range row {
+						sum[j] += v
+					}
+					cnt++
+				}
+			}
+			l.condSums[ci] = sum
+			l.condSizes[ci] = cnt
+		}
+	})
+	return l.condSums, l.condSizes
 }
 
 // Intention materializes the pattern.Intention for a canonical ID

@@ -168,10 +168,19 @@ func (m *Dense) Scale(a float64) {
 
 // MulVec returns m·v as a new vector. len(v) must equal m.C.
 func (m *Dense) MulVec(v Vec) Vec {
+	return m.MulVecInto(make(Vec, m.R), v)
+}
+
+// MulVecInto computes m·v into dst (len m.R, must not alias v) and
+// returns it, with no allocations.
+func (m *Dense) MulVecInto(dst Vec, v Vec) Vec {
 	if len(v) != m.C {
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d vs %d", m.C, len(v)))
 	}
-	out := make(Vec, m.R)
+	if len(dst) != m.R {
+		panic("mat: MulVecInto destination length mismatch")
+	}
+	out := dst
 	for i := 0; i < m.R; i++ {
 		row := m.Data[i*m.C : (i+1)*m.C]
 		var s float64
@@ -292,11 +301,37 @@ type Cholesky struct {
 // Only the lower triangle of a is read. Returns ErrNotSPD if a pivot is
 // not strictly positive.
 func NewCholesky(a *Dense) (*Cholesky, error) {
+	c := &Cholesky{}
+	if err := c.Factor(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Factor (re)factorizes a into the receiver, reusing the existing L
+// storage when the dimensions match — the allocation-free path for
+// scorers that refactorize a scratch covariance per candidate. On error
+// the receiver's factorization is invalid and must not be used.
+func (c *Cholesky) Factor(a *Dense) error {
 	if a.R != a.C {
-		return nil, fmt.Errorf("mat: Cholesky needs a square matrix, got %dx%d", a.R, a.C)
+		return fmt.Errorf("mat: Cholesky needs a square matrix, got %dx%d", a.R, a.C)
 	}
 	n := a.R
-	l := make([]float64, n*n)
+	if len(c.L) != n*n {
+		c.L = make([]float64, n*n)
+	} else {
+		// The algorithm writes every lower-triangle entry, but stale
+		// strict-upper entries from a previous factorization must be
+		// cleared (they are documented as zero).
+		for i := 0; i < n; i++ {
+			row := c.L[i*n+i+1 : (i+1)*n]
+			for k := range row {
+				row[k] = 0
+			}
+		}
+	}
+	c.N = n
+	l := c.L
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			s := a.Data[i*n+j]
@@ -307,7 +342,7 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			}
 			if i == j {
 				if s <= 0 || math.IsNaN(s) {
-					return nil, ErrNotSPD
+					return ErrNotSPD
 				}
 				l[i*n+i] = math.Sqrt(s)
 			} else {
@@ -315,16 +350,23 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			}
 		}
 	}
-	return &Cholesky{N: n, L: l}, nil
+	return nil
 }
 
 // Solve returns x with A·x = b, overwriting nothing.
 func (c *Cholesky) Solve(b Vec) Vec {
-	if len(b) != c.N {
+	return c.SolveInto(make(Vec, c.N), b)
+}
+
+// SolveInto solves A·x = b into dst (which may alias b) and returns it,
+// with no allocations — the hot-path form used by the fused scorers.
+func (c *Cholesky) SolveInto(dst, b Vec) Vec {
+	if len(b) != c.N || len(dst) != c.N {
 		panic("mat: Cholesky.Solve dimension mismatch")
 	}
 	n := c.N
-	x := b.Clone()
+	x := dst
+	copy(x, b)
 	// Forward substitution L y = b.
 	for i := 0; i < n; i++ {
 		row := c.L[i*n : i*n+i]

@@ -7,7 +7,11 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/background"
+	"repro/internal/bitset"
 	"repro/internal/gen"
+	"repro/internal/mat"
+	"repro/internal/si"
 )
 
 // dumpResults serializes a Results to a canonical byte form: every
@@ -50,6 +54,57 @@ func TestBeamParallelismByteIdentical(t *testing.T) {
 		}
 		if !bytes.Equal(got, want) {
 			t.Fatalf("Parallelism=%d results differ from Parallelism=1", par)
+		}
+	}
+}
+
+// TestBeamManyGroupsParallelismByteIdentical repeats the byte-identity
+// guarantee on a model that many commits have fragmented into many
+// parameter groups — the regime the fused sufficient-statistics kernel
+// (group-label pass + depth-1 stats table) is built for. The search
+// must return the same bytes at every parallelism and regardless of
+// whether candidates were scored from the depth-1 table or the fused
+// extension pass.
+func TestBeamManyGroupsParallelismByteIdentical(t *testing.T) {
+	ds := gen.Synthetic620(gen.SeedSynthetic).DS
+	m, err := background.New(ds.N(), make(mat.Vec, ds.Dy()), mat.Eye(ds.Dy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit a spread of overlapping location patterns to split the
+	// model into many groups.
+	target := make(mat.Vec, ds.Dy())
+	for c := 0; c < 12; c++ {
+		ext := bitset.New(ds.N())
+		lo := (c * 41) % (ds.N() - 80)
+		for i := lo; i < lo+80; i++ {
+			ext.Add(i)
+		}
+		target[0] = 0.05 * float64(c%3)
+		if err := m.CommitLocation(ext, target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.NumGroups() < 12 {
+		t.Fatalf("model has only %d groups; the many-groups regime was not reached", m.NumGroups())
+	}
+	sc, err := si.NewLocationScorer(m, ds.Y, si.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, par := range []int{1, 2, 8} {
+		res := Beam(ds, sc, Params{Parallelism: par})
+		got := dumpResults(res)
+		if want == nil {
+			want = got
+			if res.Top() == nil {
+				t.Fatal("no patterns found")
+			}
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Parallelism=%d results differ on the many-groups model", par)
 		}
 	}
 }

@@ -118,15 +118,16 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 	res := &Results{}
 	top := engine.NewTopK(p.TopK)
 
-	full := bitset.Full(ds.N())
 	// Level 1 candidates: every elementary condition (distinct by
-	// construction, no dedup needed).
+	// construction, no dedup needed). A nil Parent means the full
+	// dataset, which lets the evaluator score the level from its
+	// precomputed depth-1 sufficient-statistics table with no bitset
+	// passes at all.
 	cands := make([]engine.Candidate, 0, len(lang.Conds))
 	for i := range lang.Conds {
 		cands = append(cands, engine.Candidate{
-			Parent: full,
-			Cond:   engine.CondID(i),
-			Ids:    []engine.CondID{engine.CondID(i)},
+			Cond: engine.CondID(i),
+			Ids:  []engine.CondID{engine.CondID(i)},
 		})
 	}
 
@@ -146,8 +147,17 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 		}
 		res.Evaluated += len(cands)
 		res.Levels = depth
-		for _, s := range level {
-			top.Add(s)
+
+		// Batch results are unmaterialized; only the candidates that
+		// actually enter the log or seed the next beam pay the
+		// extension/mean clones — everything else on the level stays
+		// allocation-free.
+		for i := range level {
+			s := &level[i]
+			if top.WouldAccept(s.SI, s.Ids) {
+				ev.Materialize(cands, s)
+				top.Add(*s)
+			}
 		}
 
 		// New beam: best BeamWidth of this level (level is sorted).
@@ -158,6 +168,9 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 		if depth == p.MaxDepth {
 			break
 		}
+		for i := range beam {
+			ev.Materialize(cands, &beam[i])
+		}
 
 		// Expand the beam with every condition not already present;
 		// duplicate intentions (reached via different parents) are dropped
@@ -165,7 +178,7 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 		// intentions at different depths have different lengths and can
 		// never collide, so nothing is gained by retaining older levels.
 		seen := engine.NewDedup()
-		cands = cands[:0]
+		next := make([]engine.Candidate, 0, len(beam)*len(lang.Conds))
 		for _, b := range beam {
 			for ci := range lang.Conds {
 				id := engine.CondID(ci)
@@ -177,13 +190,14 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 				if !fresh {
 					continue
 				}
-				cands = append(cands, engine.Candidate{
+				next = append(next, engine.Candidate{
 					Parent: b.Ext,
 					Cond:   id,
 					Ids:    ids,
 				})
 			}
 		}
+		cands = next
 	}
 
 	res.Patterns = patterns(lang, top.Sorted())
@@ -213,6 +227,15 @@ func ExhaustiveP(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 	lang := engine.LanguageFor(ds, p.NumSplits)
 	res := &Results{}
 	top := engine.NewTopK(p.TopK)
+	// With a worker-capable scorer the whole walk scores through
+	// reusable scratch; the worker's mean is cloned only for candidates
+	// that actually enter the log.
+	score := sc.Score
+	usingWorker := false
+	if ws, ok := sc.(engine.WorkerScorer); ok {
+		score = ws.NewWorker().Score
+		usingWorker = true
+	}
 	res.TimedOut = lang.Enumerate(engine.EnumOptions{
 		MaxDepth:   p.MaxDepth,
 		MinSupport: p.MinSupport,
@@ -222,8 +245,11 @@ func ExhaustiveP(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 		if len(ids) > res.Levels {
 			res.Levels = len(ids)
 		}
-		si, ic, mean, ok := sc.Score(ext, len(ids))
+		si, ic, mean, ok := score(ext, len(ids))
 		if ok && top.WouldAccept(si, ids) {
+			if usingWorker {
+				mean = mean.Clone()
+			}
 			top.Add(engine.Scored{
 				Ids:  append([]engine.CondID(nil), ids...),
 				Ext:  ext.Clone(),

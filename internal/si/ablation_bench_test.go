@@ -55,10 +55,13 @@ func benchScorer(b *testing.B, d int, breakFastPath bool) {
 			ext.Add(i)
 		}
 	}
+	// The engine's steady state: one worker per goroutine, scoring with
+	// reusable scratch. Must report 0 allocs/op.
+	w := sc.newWorker()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, ok := sc.Score(ext, 2); !ok {
+		if _, _, _, ok := w.Score(ext, 2); !ok {
 			b.Fatal("score failed")
 		}
 	}
@@ -68,3 +71,60 @@ func BenchmarkScoreSharedSigmaFastPathD16(b *testing.B)  { benchScorer(b, 16, fa
 func BenchmarkScoreGeneralPathD16(b *testing.B)          { benchScorer(b, 16, true) }
 func BenchmarkScoreSharedSigmaFastPathD124(b *testing.B) { benchScorer(b, 124, false) }
 func BenchmarkScoreGeneralPathD124(b *testing.B)         { benchScorer(b, 124, true) }
+
+// benchScorerManyGroups quantifies the sufficient-statistics win the
+// fused kernel buys when many patterns have been committed: the former
+// per-group AND-popcount walk was O(#groups · n/64) per candidate,
+// the fused label pass is O(n/64 + |I|) no matter how many groups the
+// model has split into.
+func benchScorerManyGroups(b *testing.B, commits int) {
+	const n, d = 2220, 8
+	rng := rand.New(rand.NewSource(1))
+	y := mat.NewDense(n, d)
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	m, err := background.New(n, make(mat.Vec, d), mat.Eye(d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mean := make(mat.Vec, d)
+	mean[0] = 0.1
+	for c := 0; c < commits; c++ {
+		ext := bitset.New(n)
+		lo := rng.Intn(n - 64)
+		for i := lo; i < lo+64+rng.Intn(256) && i < n; i++ {
+			ext.Add(i)
+		}
+		if err := m.CommitLocation(ext, mean); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if m.NumGroups() < commits {
+		b.Fatalf("expected many groups, got %d", m.NumGroups())
+	}
+	sc, err := NewLocationScorer(m, y, Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext := bitset.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			ext.Add(i)
+		}
+	}
+	w := sc.newWorker()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := w.Score(ext, 2); !ok {
+			b.Fatal("score failed")
+		}
+	}
+}
+
+// BenchmarkScoreManyGroups32Commits is the many-groups scaling
+// benchmark of the sufficient-statistics refactor: a model carrying 32
+// committed location constraints (the interactive steady state the
+// server is built for), scored through the fused worker path.
+func BenchmarkScoreManyGroups32Commits(b *testing.B) { benchScorerManyGroups(b, 32) }

@@ -16,9 +16,12 @@ package si
 import (
 	"errors"
 	"math"
+	"math/bits"
+	"sync"
 
 	"repro/internal/background"
 	"repro/internal/bitset"
+	"repro/internal/engine"
 	"repro/internal/mat"
 	"repro/internal/stats"
 )
@@ -262,25 +265,61 @@ func SpreadICGradientTerms(sm SpreadMoments, ghat float64) (ic, dG, dA1, dA2, dA
 }
 
 // LocationScorer scores candidate subgroup extensions during beam
-// search. It snapshots the model's groups once and uses a shared-Σ fast
-// path (valid whenever only location patterns have been committed, which
-// Theorem 1 guarantees keeps all covariances equal) to avoid a d³
-// factorization per candidate. Safe for concurrent use.
+// search. It snapshots the model's groups and dense group labeling once
+// and scores each candidate with one fused trailing-zeros pass over the
+// extension that accumulates the per-group counts *and* the target sum
+// simultaneously — O(n/64 + |I|) regardless of how many groups the
+// committed patterns have split the model into, where the former
+// per-group AND-popcount walk was O(#groups · n/64). A shared-Σ fast
+// path (valid whenever only location patterns have been committed,
+// which Theorem 1 guarantees keeps all covariances equal) avoids a d³
+// factorization per candidate.
+//
+// The scorer itself is safe for concurrent use (Score draws reusable
+// scratch from an internal pool); the engine instead calls NewWorker
+// for a per-goroutine context whose steady-state scoring path performs
+// zero heap allocations.
 type LocationScorer struct {
 	Y *mat.Dense
 	P Params
 
 	d      int
 	groups []*background.Group
+	labels []int32
+	// mus is the group means flattened into one contiguous G×d array
+	// (mus[g*d:(g+1)*d] is group g's µ): the µ_I accumulation loop runs
+	// over it cache-linearly with no per-group pointer chase, and the
+	// copy insulates scoring from later in-place model updates.
+	mus mat.Vec
 
 	shared  *mat.Cholesky // non-nil → all groups share Sigma
 	logDetS float64       // log|Σ| of the shared matrix
+
+	pool sync.Pool // of *LocationWorker, for the concurrent Score path
 }
+
+// Interface conformance with the evaluation engine: workers score from
+// pooled scratch, stat workers score depth-1 candidates from the
+// engine's precomputed sufficient statistics, and the labeling lets the
+// engine build that table.
+var (
+	_ engine.WorkerScorer     = (*LocationScorer)(nil)
+	_ engine.GroupLabeler     = (*LocationScorer)(nil)
+	_ engine.StatScorerWorker = (*LocationWorker)(nil)
+)
 
 // NewLocationScorer prepares a scorer against the current model state.
 // The scorer must be rebuilt after the model changes.
 func NewLocationScorer(m *background.Model, y *mat.Dense, p Params) (*LocationScorer, error) {
-	s := &LocationScorer{Y: y, P: p, d: m.D(), groups: m.Groups()}
+	s := &LocationScorer{
+		Y: y, P: p, d: m.D(),
+		groups: m.Groups(),
+		labels: append([]int32(nil), m.Labels()...),
+	}
+	s.mus = make(mat.Vec, len(s.groups)*s.d)
+	for gi, g := range s.groups {
+		copy(s.mus[gi*s.d:(gi+1)*s.d], g.Mu)
+	}
 	chol, ok, err := m.DistinctSigmaChols()
 	if err != nil {
 		return nil, err
@@ -289,60 +328,282 @@ func NewLocationScorer(m *background.Model, y *mat.Dense, p Params) (*LocationSc
 		s.shared = chol
 		s.logDetS = chol.LogDet()
 	}
+	s.pool.New = func() any { return s.newWorker() }
 	return s, nil
 }
 
+// NumGroups implements engine.GroupLabeler.
+func (s *LocationScorer) NumGroups() int { return len(s.groups) }
+
+// Labels implements engine.GroupLabeler.
+func (s *LocationScorer) Labels() []int32 { return s.labels }
+
+// NewWorker implements engine.WorkerScorer.
+func (s *LocationScorer) NewWorker() engine.ScorerWorker { return s.newWorker() }
+
 // Score evaluates a candidate extension with numConds conditions,
 // returning its SI, IC and subgroup mean. ok=false marks candidates that
-// cannot be scored (empty extension or degenerate marginal).
+// cannot be scored (empty extension or degenerate marginal). Safe for
+// concurrent use; the mean is freshly allocated. Hot paths should use a
+// worker instead, whose returned mean is reusable scratch.
 func (s *LocationScorer) Score(ext *bitset.Set, numConds int) (si, ic float64, yhat mat.Vec, ok bool) {
-	cnt := ext.Count()
+	w := s.pool.Get().(*LocationWorker)
+	si, ic, yhat, ok = w.Score(ext, numConds)
+	if ok {
+		yhat = yhat.Clone()
+	}
+	s.pool.Put(w)
+	return si, ic, yhat, ok
+}
+
+// LocationWorker is a single-goroutine scoring context: all
+// intermediates (group counts, ŷ, µ_I, the solve and — on the general
+// path — the covariance accumulator and its factorization) live in
+// worker-owned scratch, so steady-state scoring allocates nothing.
+type LocationWorker struct {
+	s      *LocationScorer
+	counts []int32
+	// touched marks the groups the current extension intersects (bit g
+	// set ⟺ counts[g] > 0), so finish visits only those groups — in
+	// ascending order, for free — instead of scanning all #groups count
+	// slots per candidate.
+	touched []uint64
+	yhat    mat.Vec
+	muI     mat.Vec
+	diff    mat.Vec
+	sol     mat.Vec
+	cov     *mat.Dense    // general path only
+	chol    *mat.Cholesky // general path only; refactorized in place
+}
+
+func (s *LocationScorer) newWorker() *LocationWorker {
+	w := &LocationWorker{
+		s:       s,
+		counts:  make([]int32, len(s.groups)),
+		touched: make([]uint64, (len(s.groups)+63)/64),
+		yhat:    make(mat.Vec, s.d),
+		muI:     make(mat.Vec, s.d),
+		diff:    make(mat.Vec, s.d),
+		sol:     make(mat.Vec, s.d),
+	}
+	if s.shared == nil {
+		w.cov = mat.NewDense(s.d, s.d)
+		w.chol = &mat.Cholesky{}
+	}
+	return w
+}
+
+// Score implements engine.ScorerWorker: the fused single-pass scoring
+// kernel. The returned mean is worker scratch, valid until the next
+// call.
+func (w *LocationWorker) Score(ext *bitset.Set, numConds int) (si, ic float64, yhat mat.Vec, ok bool) {
+	cnt := w.accumulate(ext)
 	if cnt == 0 {
 		return 0, 0, nil, false
 	}
+	return w.finish(w.counts, cnt, numConds, w.touched)
+}
+
+// ScoreStats implements engine.StatScorerWorker: scoring from
+// precomputed sufficient statistics (depth-1 table), no bitset pass.
+// Results are bit-identical to Score on the matching extension because
+// the statistics accumulate in the same order the fused pass does.
+func (w *LocationWorker) ScoreStats(counts []int32, ysum mat.Vec, size, numConds int) (si, ic float64, yhat mat.Vec, ok bool) {
+	if size == 0 {
+		return 0, 0, nil, false
+	}
+	copy(w.yhat, ysum)
+	return w.finish(counts, size, numConds, nil)
+}
+
+// accumulate runs the fused pass: one trailing-zeros walk over ext
+// bumping the label-indexed group counts and summing target rows into
+// w.yhat, returning |ext|. The four specializations keep the per-bit
+// work minimal for the two axes that matter: a fresh model has a single
+// group (counts collapse to the popcount) and single-target datasets
+// collapse the row loop to one scalar add.
+func (w *LocationWorker) accumulate(ext *bitset.Set) int {
+	// w.counts and w.touched are all-zero here: finish clears every slot
+	// it visited, so no O(#groups) memset is needed per candidate.
+	s := w.s
+	counts := w.counts
+	touched := w.touched
+	labels := s.labels
+	data := s.Y.Data
 	d := s.d
-	yhat = make(mat.Vec, d)
-	ext.ForEach(func(i int) {
-		row := s.Y.Row(i)
-		for j, v := range row {
-			yhat[j] += v
+	single := len(s.groups) == 1
+	cnt := 0
+	if d == 1 {
+		var sum float64
+		if single {
+			for wi, word := range ext.Words() {
+				base := wi * 64
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &= word - 1
+					sum += data[base+b]
+					cnt++
+				}
+			}
+		} else {
+			for wi, word := range ext.Words() {
+				base := wi * 64
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &= word - 1
+					i := base + b
+					lab := labels[i]
+					counts[lab]++
+					touched[lab>>6] |= 1 << (uint(lab) & 63)
+					sum += data[i]
+					cnt++
+				}
+			}
 		}
-	})
+		w.yhat[0] = sum
+		if single && cnt > 0 {
+			counts[0] = int32(cnt)
+			touched[0] = 1
+		}
+		return cnt
+	}
+	yhat := w.yhat
+	for j := range yhat {
+		yhat[j] = 0
+	}
+	for wi, word := range ext.Words() {
+		base := wi * 64
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			i := base + b
+			if !single {
+				lab := labels[i]
+				counts[lab]++
+				touched[lab>>6] |= 1 << (uint(lab) & 63)
+			}
+			row := data[i*d : i*d+d]
+			for j, v := range row {
+				yhat[j] += v
+			}
+			cnt++
+		}
+	}
+	if single && cnt > 0 {
+		counts[0] = int32(cnt)
+		touched[0] = 1
+	}
+	return cnt
+}
+
+// finish turns accumulated sufficient statistics (w.yhat holds the raw
+// target sum) into SI/IC. The per-group accumulation of µ_I (and Σ_I on
+// the general path) visits the intersected groups in ascending model
+// order skipping empty ones — the exact float operation sequence of the
+// naive SubgroupMeanMarginal-based path, so both agree bit-for-bit.
+//
+// With a touched bitmap (the worker path), only the groups the
+// extension intersects are visited — a trailing-zeros walk that yields
+// ascending order for free — and every visited count slot and bitmap
+// word is cleared on the way, maintaining the worker-scratch invariant
+// without a per-candidate O(#groups) memset. The stat-table path passes
+// touched=nil (caller-owned dense counts, must not be modified) and
+// scans all slots.
+func (w *LocationWorker) finish(counts []int32, cnt, numConds int, touched []uint64) (si, ic float64, yhat mat.Vec, ok bool) {
+	s := w.s
+	d := s.d
+	yhat = w.yhat
 	yhat.Scale(1 / float64(cnt))
 
-	// Background marginal mean µ_I.
-	muI := make(mat.Vec, d)
-	var cov *mat.Dense
-	if s.shared == nil {
-		cov = mat.NewDense(d, d)
-	}
-	for _, g := range s.groups {
-		icnt := g.Members.IntersectCount(ext)
-		if icnt == 0 {
-			continue
+	muI := w.muI
+	cov := w.cov
+	mus := s.mus
+	if cov == nil && d == 1 {
+		// Shared-Σ single-target fast path: the group loop collapses to
+		// one fused multiply-add over the flat mean array.
+		var mu0 float64
+		if touched != nil {
+			for wi, word := range touched {
+				if word == 0 {
+					continue
+				}
+				base := wi * 64
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &= word - 1
+					gi := base + b
+					mu0 += float64(counts[gi]) * mus[gi]
+					counts[gi] = 0
+				}
+				touched[wi] = 0
+			}
+		} else {
+			for gi, c := range counts {
+				if c != 0 {
+					mu0 += float64(c) * mus[gi]
+				}
+			}
 		}
-		w := float64(icnt)
-		muI.AddScaled(w, g.Mu)
+		muI[0] = mu0
+	} else {
+		for j := range muI {
+			muI[j] = 0
+		}
 		if cov != nil {
-			cov.AddScaled(w, g.Sigma)
+			for j := range cov.Data {
+				cov.Data[j] = 0
+			}
+		}
+		acc := func(gi int, wt float64) {
+			mu := mus[gi*d : (gi+1)*d]
+			for j, v := range mu {
+				muI[j] += wt * v
+			}
+			if cov != nil {
+				cov.AddScaled(wt, s.groups[gi].Sigma)
+			}
+		}
+		if touched != nil {
+			for wi, word := range touched {
+				if word == 0 {
+					continue
+				}
+				base := wi * 64
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &= word - 1
+					gi := base + b
+					acc(gi, float64(counts[gi]))
+					counts[gi] = 0
+				}
+				touched[wi] = 0
+			}
+		} else {
+			for gi, c := range counts {
+				if c != 0 {
+					acc(gi, float64(c))
+				}
+			}
 		}
 	}
 	muI.Scale(1 / float64(cnt))
 
-	diff := yhat.Sub(muI)
+	diff := w.diff
+	for j := range diff {
+		diff[j] = yhat[j] - muI[j]
+	}
 	if s.shared != nil {
 		// Σ_I = Σ/|I|: log|Σ_I| = log|Σ| − d·log|I|, Mahal scales by |I|.
-		mahal := float64(cnt) * diff.Dot(s.shared.Solve(diff))
+		mahal := float64(cnt) * diff.Dot(s.shared.SolveInto(w.sol, diff))
 		ic = 0.5 * (float64(d)*math.Log(2*math.Pi) + s.logDetS -
 			float64(d)*math.Log(float64(cnt)) + mahal)
 	} else {
 		cov.Scale(1 / float64(cnt*cnt))
-		chol, err := mat.NewCholesky(cov)
-		if err != nil {
+		if err := w.chol.Factor(cov); err != nil {
 			return 0, 0, nil, false
 		}
-		mahal := diff.Dot(chol.Solve(diff))
-		ic = 0.5 * (float64(d)*math.Log(2*math.Pi) + chol.LogDet() + mahal)
+		mahal := diff.Dot(w.chol.SolveInto(w.sol, diff))
+		ic = 0.5 * (float64(d)*math.Log(2*math.Pi) + w.chol.LogDet() + mahal)
 	}
 	return ic / s.P.DL(numConds, false), ic, yhat, true
 }

@@ -63,12 +63,19 @@ type Result struct {
 var ErrNoDirection = errors.New("spreadopt: no valid direction found")
 
 // objective evaluates the spread IC (and its Euclidean gradient) as a
-// function of the direction w, for a fixed extension.
+// function of the direction w, for a fixed extension. The moment sums
+// A₁..A₃ only see a group through wᵀΣw and its count, so groups sharing
+// a covariance matrix (location-split siblings — Theorem 1 never
+// diverges them) are merged at construction: the gradient-ascent inner
+// loop then computes one quadratic form per *distinct* matrix per
+// iteration, which for the location-only regime is a single pass no
+// matter how many groups the model has split into.
 type objective struct {
 	total   float64
 	counts  []float64
-	sigmas  []*mat.Dense
-	scatter *mat.Dense // S with ĝ(w) = wᵀSw
+	sigmas  []*mat.Dense // distinct matrices, counts aggregated
+	scatter *mat.Dense   // S with ĝ(w) = wᵀSw
+	gw      mat.Vec      // scratch for Σ·w in the gradient loop
 }
 
 func newObjective(m *background.Model, y *mat.Dense, ext *bitset.Set, center mat.Vec) (*objective, error) {
@@ -79,14 +86,28 @@ func newObjective(m *background.Model, y *mat.Dense, ext *bitset.Set, center mat
 	o := &objective{
 		total:   float64(total),
 		scatter: pattern.SubgroupScatter(y, ext, center),
+		gw:      make(mat.Vec, m.D()),
 	}
-	for _, g := range m.Groups() {
-		ic := g.Members.IntersectCount(ext)
+	// One fused pass over ext for all per-group counts (instead of one
+	// AND-popcount pass per group), then merge by Σ identity.
+	counts := m.CountByGroup(ext, nil)
+	for gi, g := range m.Groups() {
+		ic := counts[gi]
 		if ic == 0 {
 			continue
 		}
-		o.counts = append(o.counts, float64(ic))
-		o.sigmas = append(o.sigmas, g.Sigma)
+		merged := false
+		for k, sig := range o.sigmas {
+			if sig == g.Sigma {
+				o.counts[k] += float64(ic)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			o.counts = append(o.counts, float64(ic))
+			o.sigmas = append(o.sigmas, g.Sigma)
+		}
 	}
 	if len(o.counts) == 0 {
 		return nil, background.ErrNoPoints
@@ -123,14 +144,14 @@ func (o *objective) evalGrad(w mat.Vec, grad mat.Vec) float64 {
 	ic, dG, dA1, dA2, dA3 := si.SpreadICGradientTerms(sm, ghat)
 
 	// ∇ĝ = 2Sw.
-	sw := o.scatter.MulVec(w)
+	sw := o.scatter.MulVecInto(o.gw, w)
 	for i := range grad {
 		grad[i] = 2 * dG * sw[i]
 	}
 	// ∇Aₖ = Σ_g c_g·k·a_gᵏ⁻¹·(2Σ_g w / |I|).
 	inv := 1 / o.total
 	for gi, sigma := range o.sigmas {
-		gw := sigma.MulVec(w)
+		gw := sigma.MulVecInto(o.gw, w)
 		a := w.Dot(gw) * inv
 		coeff := o.counts[gi] * (dA1 + 2*dA2*a + 3*dA3*a*a) * 2 * inv
 		grad.AddScaled(coeff, gw)
