@@ -1,0 +1,283 @@
+package background
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/mat"
+)
+
+// randomExt builds a random extension of size points.
+func randomExt(rng *rand.Rand, n, size int) *bitset.Set {
+	perm := rng.Perm(n)
+	ext := bitset.New(n)
+	for _, i := range perm[:size] {
+		ext.Add(i)
+	}
+	return ext
+}
+
+// disjointExt returns the k-th of many disjoint contiguous blocks.
+func disjointExt(n, k, block int) *bitset.Set {
+	ext := bitset.New(n)
+	for i := k * block; i < (k+1)*block && i < n; i++ {
+		ext.Add(i)
+	}
+	return ext
+}
+
+// sameParams fails unless the two models have bit-identical group
+// parameters (same partition, same µ and Σ float64s — exact equality,
+// not tolerance) and the same LastSweeps.
+func sameParams(t *testing.T, tag string, a, b *Model) {
+	t.Helper()
+	if a.NumGroups() != b.NumGroups() {
+		t.Fatalf("%s: group count %d vs %d", tag, a.NumGroups(), b.NumGroups())
+	}
+	if a.LastSweeps != b.LastSweeps {
+		t.Fatalf("%s: LastSweeps %d vs %d", tag, a.LastSweeps, b.LastSweeps)
+	}
+	for gi := range a.Groups() {
+		ga, gb := a.Groups()[gi], b.Groups()[gi]
+		if ga.Members.IntersectCount(gb.Members) != ga.Count || ga.Count != gb.Count {
+			t.Fatalf("%s: group %d membership differs", tag, gi)
+		}
+		for j := range ga.Mu {
+			if ga.Mu[j] != gb.Mu[j] {
+				t.Fatalf("%s: group %d mu[%d] %v vs %v (diff %g)",
+					tag, gi, j, ga.Mu[j], gb.Mu[j], ga.Mu[j]-gb.Mu[j])
+			}
+		}
+		for j := range ga.Sigma.Data {
+			if ga.Sigma.Data[j] != gb.Sigma.Data[j] {
+				t.Fatalf("%s: group %d sigma[%d] %v vs %v",
+					tag, gi, j, ga.Sigma.Data[j], gb.Sigma.Data[j])
+			}
+		}
+	}
+}
+
+// TestIncrementalRefitBitIdenticalToFullDescent is the tentpole's
+// correctness contract: dirty-constraint skipping reproduces the exact
+// float trajectory of the full cyclic descent. Two models replay the
+// same randomized commit sequence — location and spread, overlapping and
+// disjoint extensions — one with skipping (the default), one forced to
+// re-apply every constraint every sweep (noSkip). After every commit the
+// group parameters and sweep counts must match bit for bit, and commits
+// must succeed or fail in lockstep.
+func TestIncrementalRefitBitIdenticalToFullDescent(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(60)
+		d := 1 + rng.Intn(3)
+		fast, err := New(n, make(mat.Vec, d), mat.Eye(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := New(n, make(mat.Vec, d), mat.Eye(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		full.noSkip = true
+
+		for step := 0; step < 6; step++ {
+			var ext *bitset.Set
+			if rng.Intn(2) == 0 {
+				// Disjoint-ish block: the regime skipping is built for.
+				ext = disjointExt(n, step, n/8)
+			} else {
+				ext = randomExt(rng, n, 3+rng.Intn(n/2))
+			}
+			if ext.Count() == 0 {
+				continue
+			}
+			yhat := make(mat.Vec, d)
+			for j := range yhat {
+				yhat[j] = rng.NormFloat64()
+			}
+			errA := fast.CommitLocation(ext, yhat)
+			errB := full.CommitLocation(ext, yhat)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("seed %d step %d: commit divergence: %v vs %v", seed, step, errA, errB)
+			}
+			sameParams(t, "location", fast, full)
+
+			if errA == nil && rng.Intn(2) == 0 {
+				w := make(mat.Vec, d)
+				for j := range w {
+					w[j] = rng.NormFloat64()
+				}
+				w.Normalize()
+				v := 0.4 + rng.Float64()
+				errA = fast.CommitSpread(ext, w, yhat, v)
+				errB = full.CommitSpread(ext, w, yhat, v)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("seed %d step %d: spread divergence: %v vs %v", seed, step, errA, errB)
+				}
+				sameParams(t, "spread", fast, full)
+			}
+		}
+	}
+}
+
+// TestIncrementalRefitSkipsCleanConstraints pins the perf contract the
+// dependency graph exists for: after k disjoint location commits, the
+// next disjoint commit's descent must not re-apply the k untouched
+// constraints. Observable via the scratch-free proxy: a full re-sweep of
+// a converged model skips every constraint, so it performs zero
+// allocations and zero version bumps.
+func TestIncrementalRefitSkipsCleanConstraints(t *testing.T) {
+	n, d := 512, 2
+	m, err := New(n, make(mat.Vec, d), mat.Eye(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		if err := m.CommitLocation(disjointExt(n, k, 32), mat.Vec{float64(k), -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	versions := make([]uint64, m.NumGroups())
+	for i, g := range m.Groups() {
+		versions[i] = g.version
+	}
+	if err := m.refit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.LastSweeps != 1 {
+		t.Fatalf("converged model re-sweep took %d sweeps", m.LastSweeps)
+	}
+	for i, g := range m.Groups() {
+		if g.version != versions[i] {
+			t.Fatalf("re-sweep of a converged model mutated group %d", i)
+		}
+	}
+}
+
+// TestSatisfiedApplyZeroAlloc: the acceptance criterion that a
+// steady-state apply of a satisfied constraint performs zero
+// allocations, for both constraint kinds. noSkip forces the applies to
+// actually run (otherwise the skip path — also alloc-free — would hide
+// them).
+func TestSatisfiedApplyZeroAlloc(t *testing.T) {
+	n, d := 256, 3
+	m, err := New(n, make(mat.Vec, d), mat.Eye(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := disjointExt(n, 0, 64)
+	yhat := mat.Vec{1, -2, 0.5}
+	if err := m.CommitLocation(ext, yhat); err != nil {
+		t.Fatal(err)
+	}
+	w := mat.Vec{1, 0, 0}
+	if err := m.CommitSpread(ext, w, yhat, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping second location constraint exercises the general
+	// (distinct-Σ) accumulation path of the satisfied check too.
+	if err := m.CommitLocation(disjointExt(n, 1, 96), mat.Vec{0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.noSkip = true
+	if err := m.refit(); err != nil { // warm all scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := m.refit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("satisfied-constraint refit allocated %v per run, want 0", allocs)
+	}
+}
+
+// TestRefitDeadline: an expired Model.Deadline fails the commit with
+// ErrDeadline and rolls back atomically; clearing the deadline restores
+// normal operation.
+func TestRefitDeadline(t *testing.T) {
+	n, d := 128, 2
+	m, err := New(n, make(mat.Vec, d), mat.Eye(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitLocation(disjointExt(n, 0, 32), mat.Vec{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	muBefore := m.PointMean(0)
+
+	m.Deadline = time.Now().Add(-time.Second)
+	err = m.CommitLocation(disjointExt(n, 1, 32), mat.Vec{2, 2})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired deadline: got %v, want ErrDeadline", err)
+	}
+	if m.NumConstraints() != 1 {
+		t.Fatalf("deadline failure left %d constraints, want 1", m.NumConstraints())
+	}
+	if m.PointMean(0).Sub(muBefore).Norm() != 0 {
+		t.Fatal("deadline failure mutated the model")
+	}
+
+	m.Deadline = time.Time{}
+	if err := m.CommitLocation(disjointExt(n, 1, 32), mat.Vec{2, 2}); err != nil {
+		t.Fatalf("commit after clearing deadline: %v", err)
+	}
+	if m.NumConstraints() != 2 {
+		t.Fatalf("NumConstraints = %d, want 2", m.NumConstraints())
+	}
+}
+
+// TestConcurrentCloneCommit exercises the version/stamp bookkeeping
+// under the race detector: concurrent goroutines clone one base model
+// and commit to their private clones while others read the base. Clones
+// carry copied dependency caches, so any accidental sharing of mutable
+// state would be flagged by -race (and by the final base-unchanged
+// check).
+func TestConcurrentCloneCommit(t *testing.T) {
+	n, d := 256, 2
+	base, err := New(n, make(mat.Vec, d), mat.Eye(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		if err := base.CommitLocation(disjointExt(n, k, 32), mat.Vec{float64(k), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	muBefore := base.PointMean(0)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := base.Clone()
+			ext := disjointExt(n, 4+w%3, 40)
+			if err := c.CommitLocation(ext, mat.Vec{float64(w), -float64(w)}); err != nil {
+				errs[w] = err
+				return
+			}
+			if c.NumConstraints() != 5 {
+				errs[w] = errors.New("clone constraint count wrong")
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if base.NumConstraints() != 4 {
+		t.Fatalf("base constraint count changed to %d", base.NumConstraints())
+	}
+	if base.PointMean(0).Sub(muBefore).Norm() != 0 {
+		t.Fatal("clone commit mutated the base model")
+	}
+}

@@ -98,9 +98,13 @@ func loadJSON(r io.Reader, replay bool) (*Model, error) {
 	if in.N <= 0 || in.D <= 0 {
 		return nil, fmt.Errorf("background: invalid dimensions %d×%d", in.N, in.D)
 	}
+	// epoch starts at 1 (like New) so the zero-valued conState caches the
+	// first refit lazily grows are recognized as stale and rebuilt — the
+	// dependency graph needs no wire format of its own.
 	m := &Model{
 		n: in.N, d: in.D,
-		Tol: in.Tol, MaxSweeps: in.MaxSweeps,
+		epoch: 1,
+		Tol:   in.Tol, MaxSweeps: in.MaxSweeps,
 	}
 	if m.Tol <= 0 {
 		m.Tol = 1e-8

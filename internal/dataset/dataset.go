@@ -199,13 +199,14 @@ func SplitPoints(c *Column, k int) []float64 {
 	if k < 1 {
 		panic("dataset: SplitPoints needs k >= 1")
 	}
-	sortedVals := append([]float64(nil), c.Values...)
-	sort.Float64s(sortedVals)
-	out := make([]float64, 0, k)
+	ps := make([]float64, k)
 	for i := 1; i <= k; i++ {
-		p := 100 * float64(i) / float64(k+1)
-		out = append(out, stats.PercentileSorted(sortedVals, p))
+		ps[i-1] = 100 * float64(i) / float64(k+1)
 	}
+	// Partial selection instead of a full sort: identical values (same
+	// order statistics, same interpolation), a fraction of the cost — a
+	// language build runs this over every numeric column.
+	out := stats.Percentiles(c.Values, ps)
 	sort.Float64s(out)
 	// Deduplicate near-equal thresholds (constant or heavily tied columns).
 	dedup := out[:0]

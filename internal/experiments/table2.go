@@ -9,6 +9,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/mat"
 	"repro/internal/pattern"
@@ -26,12 +27,22 @@ type TableIIDataset struct {
 // German socio-economics (412×13×5), water quality (1060×14×16), crime
 // (1994×122×1) and mammals (2220×67×124).
 func TableIIDatasets() []TableIIDataset {
-	return []TableIIDataset{
+	return tableIIDatasets(true)
+}
+
+// tableIIDatasets optionally skips the mammals replica — the most
+// expensive one to generate — so runs that do not time its column are
+// not charged for building it.
+func tableIIDatasets(includeMammals bool) []TableIIDataset {
+	out := []TableIIDataset{
 		{Name: "GSE", DS: gen.SocioEconLike(gen.SeedSocio).DS},
 		{Name: "WQ", DS: gen.WaterQualityLike(gen.SeedWater).DS},
 		{Name: "Cr", DS: gen.CrimeLike(gen.SeedCrime).DS},
-		{Name: "Ma", DS: gen.MammalsLike(gen.SeedMammals).DS},
 	}
+	if includeMammals {
+		out = append(out, TableIIDataset{Name: "Ma", DS: gen.MammalsLike(gen.SeedMammals).DS})
+	}
+	return out
 }
 
 // TableIIResult records background-update runtimes, in seconds, exactly
@@ -60,9 +71,18 @@ type TableIIResult struct {
 // that its own experiments only commit patterns with limited overlaps
 // (iterative mining makes redundant subgroups uninteresting), which is
 // also what keeps the coordinate descent fast.
-func patternsForRuntime(ds *dataset.Dataset, iters int) ([]*bitset.Set, []mat.Vec, error) {
+//
+// The collection beam runs at width 10 (the width the repo's other
+// drivers and mining benchmarks use) rather than the paper's full
+// Cortana width: Table II times the background *updates*, and the
+// collection pass only needs a log of diverse high-SI subgroups, which
+// the narrower beam's top-K already provides. The caller passes the
+// dataset's empirical moments so the prior is not recomputed per model.
+func patternsForRuntime(ds *dataset.Dataset, iters int, mu mat.Vec, cov *mat.Dense) ([]*bitset.Set, []mat.Vec, error) {
 	m, err := core.NewMiner(ds, core.Config{
-		Search: searchParams(search.Params{MaxDepth: 2, BeamWidth: 20, TopK: 30 * iters}),
+		Search:    searchParams(search.Params{MaxDepth: 2, BeamWidth: 10, TopK: 30 * iters}),
+		PriorMean: mu,
+		PriorCov:  cov,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -95,14 +115,19 @@ func patternsForRuntime(ds *dataset.Dataset, iters int) ([]*bitset.Set, []mat.Ve
 			break
 		}
 	}
-	// Top up from the elementary condition language.
+	// Top up from the elementary condition language — through the
+	// engine's cached Language, whose extensions and per-condition
+	// target sums already exist from the collection mine, instead of
+	// re-enumerating conditions and rebuilding every extension bitset.
 	if len(exts) < iters {
-		for _, c := range pattern.AllConditions(ds, 4) {
-			ext := c.Extension(ds)
-			if ext.Count() == 0 {
+		lang := engine.LanguageFor(ds, 4)
+		sums, sizes := lang.CondTargetStats()
+		for ci, ext := range lang.Exts {
+			if sizes[ci] == 0 {
 				continue
 			}
-			if tryAdd(ext, pattern.SubgroupMean(ds.Y, ext)) && len(exts) == iters {
+			mean := sums[ci].Clone().Scale(1 / float64(sizes[ci]))
+			if tryAdd(ext, mean) && len(exts) == iters {
 				break
 			}
 		}
@@ -120,10 +145,7 @@ func TableIIRuntime(iters int, includeMammals bool) (*TableIIResult, error) {
 	if iters <= 0 {
 		iters = 20
 	}
-	dss := TableIIDatasets()
-	if !includeMammals {
-		dss = dss[:3]
-	}
+	dss := tableIIDatasets(includeMammals)
 	res := &TableIIResult{}
 	for _, d := range dss {
 		res.Names = append(res.Names, d.Name)
@@ -138,7 +160,7 @@ func TableIIRuntime(iters int, includeMammals bool) (*TableIIResult, error) {
 		}
 		res.Init = append(res.Init, time.Since(start).Seconds())
 
-		exts, means, err := patternsForRuntime(d.DS, iters)
+		exts, means, err := patternsForRuntime(d.DS, iters, mu, cov)
 		if err != nil {
 			return nil, err
 		}

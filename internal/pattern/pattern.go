@@ -73,13 +73,45 @@ func (c Condition) Matches(ds *dataset.Dataset, i int) bool {
 	}
 }
 
-// Extension returns the bitset of rows matching the condition.
+// Extension returns the bitset of rows matching the condition. The
+// per-operator loops run straight over the column values and set bits
+// word-locally — a language build materializes every condition's
+// extension, so this is the hot path of cold language construction.
 func (c Condition) Extension(ds *dataset.Dataset) *bitset.Set {
 	out := bitset.New(ds.N())
-	for i := 0; i < ds.N(); i++ {
-		if c.Matches(ds, i) {
-			out.Add(i)
+	vals := ds.Descriptors[c.Attr].Values
+	words := out.Words()
+	switch c.Op {
+	case LE:
+		t := c.Threshold
+		for i, v := range vals {
+			if v <= t {
+				words[i>>6] |= 1 << (uint(i) & 63)
+			}
 		}
+	case GE:
+		t := c.Threshold
+		for i, v := range vals {
+			if v >= t {
+				words[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case EQ:
+		lv := c.Level
+		for i, v := range vals {
+			if int(v) == lv {
+				words[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case NE:
+		lv := c.Level
+		for i, v := range vals {
+			if int(v) != lv {
+				words[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	default:
+		panic("pattern: unknown operator")
 	}
 	return out
 }

@@ -803,6 +803,16 @@ func spreadJSON(ds *dataset.Dataset, sp *pattern.Spread) *PatternJSON {
 	}
 }
 
+// clampBudget normalizes a per-call wall-time budget: unset (≤ 0) and
+// oversized budgets collapse to MaxMineBudget. Shared by the mine job
+// submission and the commit-path refit deadline so the two stay in sync.
+func (s *Server) clampBudget(budget time.Duration) time.Duration {
+	if budget <= 0 || budget > s.opts.MaxMineBudget {
+		return s.opts.MaxMineBudget
+	}
+	return budget
+}
+
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	sess := s.withSession(w, r)
 	if sess == nil {
@@ -835,9 +845,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	// Every job gets a budget: an unbudgeted or oversized request is
 	// clamped to MaxMineBudget so no search can occupy a worker
 	// unboundedly (and cancellation bites no later than the budget).
-	if budget <= 0 || budget > s.opts.MaxMineBudget {
-		budget = s.opts.MaxMineBudget
-	}
+	budget = s.clampBudget(budget)
 	sess.mu.Unlock()
 
 	job, err := s.pool.Submit("mine "+sess.id, budget, s.mineJob(sess, req))
@@ -953,14 +961,28 @@ func (s *Server) mineJob(sess *session, req MineRequest) jobs.Fn {
 			progress("spread preview")
 			preview := *sess.miner
 			preview.Model = sess.miner.Model.Clone()
+			// The what-if commit's coordinate descent runs on the same
+			// job budget as the search phases: a pathological refit
+			// cannot pin the worker past the mine deadline.
+			preview.Model.Deadline = deadline
 			if err := preview.Model.CommitLocation(loc.Extension, loc.Mean); err != nil {
-				return nil, fmt.Errorf("spread preview: %w", err)
+				// The budget ran out after the location was already
+				// mined: that is a partial result, not a job failure —
+				// same contract as a deadline expiring mid-search. The
+				// location is kept; only the spread is dropped.
+				if errors.Is(err, background.ErrDeadline) {
+					resp.Status = MineStatusPartial
+					resp.TimedOut = true
+				} else {
+					return nil, fmt.Errorf("spread preview: %w", err)
+				}
+			} else {
+				sp, err = preview.MineSpread(loc)
+				if err != nil {
+					return nil, fmt.Errorf("spread: %w", err)
+				}
+				resp.Spread = spreadJSON(sess.miner.DS, sp)
 			}
-			sp, err = preview.MineSpread(loc)
-			if err != nil {
-				return nil, fmt.Errorf("spread: %w", err)
-			}
-			resp.Spread = spreadJSON(sess.miner.DS, sp)
 		}
 		sess.mu.Lock()
 		if !sess.closed {
@@ -981,24 +1003,51 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sess.mu.Unlock()
-	if sess.pendingLoc == nil {
+	if sess.pendingLoc == nil && sess.pendingSpread == nil {
 		writeErr(w, http.StatusConflict, "nothing mined to commit")
 		return
 	}
-	if err := sess.miner.CommitLocation(sess.pendingLoc); err != nil {
-		writeErr(w, http.StatusInternalServerError, "commit: %v", err)
-		return
+	// The commit's coordinate descent gets the session's mine budget
+	// (clamped like a mine request): background.Model.refit checks the
+	// deadline each sweep and fails atomically, so one degenerate
+	// constraint system cannot hold the session lock unboundedly. A
+	// deadline failure is back-pressure, not a server error — the
+	// pending pattern that hit it stays pending, so the client keeps
+	// what was mined. Rollback is atomic, so a retry restarts the
+	// descent from scratch under a fresh budget; it helps when the
+	// failure was load-induced, not when the constraint system
+	// deterministically needs more than the budget.
+	sess.miner.Model.Deadline = time.Now().Add(s.clampBudget(sess.mineTimeout))
+	defer func() { sess.miner.Model.Deadline = time.Time{} }()
+	if sess.pendingLoc != nil {
+		if err := sess.miner.CommitLocation(sess.pendingLoc); err != nil {
+			if errors.Is(err, background.ErrDeadline) {
+				writeErr(w, http.StatusServiceUnavailable, "commit: %v", err)
+				return
+			}
+			writeErr(w, http.StatusInternalServerError, "commit: %v", err)
+			return
+		}
+		// The location is now irreversibly in the background model:
+		// record that before attempting the spread, so a failed spread
+		// commit can neither double-commit the location on retry nor
+		// leave the listed iteration count behind the model's.
+		sess.history = append(sess.history, *locationJSON(sess.miner.DS, sess.pendingLoc))
+		sess.pendingLoc = nil
+		sess.iterations.Store(int64(sess.miner.Iteration()))
 	}
-	// The location is now irreversibly in the background model: record
-	// that before attempting the spread, so a failed spread commit can
-	// neither double-commit the location on retry nor leave the listed
-	// iteration count behind the model's.
-	sess.history = append(sess.history, *locationJSON(sess.miner.DS, sess.pendingLoc))
-	sess.pendingLoc = nil
-	sess.iterations.Store(int64(sess.miner.Iteration()))
 	if sp := sess.pendingSpread; sp != nil {
 		sess.pendingSpread = nil
 		if err := sess.miner.CommitSpread(sp); err != nil {
+			if errors.Is(err, background.ErrDeadline) {
+				// Keep the spread pending: the 503 advertises a retry,
+				// and the retry must still have something to commit
+				// (the location leg above is a no-op by then).
+				sess.pendingSpread = sp
+				writeErr(w, http.StatusServiceUnavailable,
+					"commit spread (location was committed): %v", err)
+				return
+			}
 			writeErr(w, http.StatusInternalServerError,
 				"commit spread (location was committed): %v", err)
 			return

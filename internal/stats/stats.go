@@ -127,6 +127,126 @@ func Percentile(xs []float64, p float64) float64 {
 	return PercentileSorted(sorted, p)
 }
 
+// Percentiles returns the p-th percentile of xs for every p in ps, with
+// exactly the interpolation (and therefore exactly the values) of
+// Percentile. Instead of fully sorting the copy it partially selects
+// just the ≤ 2·len(ps) order statistics the interpolation reads —
+// expected O(n + k·log k) instead of O(n·log n) — which makes it the
+// form hot language builds use: a condition language needs a handful of
+// split points per column, not a sorted column. xs is not modified.
+func Percentiles(xs []float64, ps []float64) []float64 {
+	out := make([]float64, len(ps))
+	n := len(xs)
+	if n == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	// Collect the order-statistic indices the interpolations read.
+	idxs := make([]int, 0, 2*len(ps))
+	for _, p := range ps {
+		if p < 0 || p > 100 {
+			panic(fmt.Sprintf("stats: percentile %v out of range", p))
+		}
+		pos := p / 100 * float64(n-1)
+		idxs = append(idxs, int(math.Floor(pos)), int(math.Ceil(pos)))
+	}
+	sort.Ints(idxs)
+	work := append([]float64(nil), xs...)
+	// Partition NaNs to the front once (sort.Float64s order), so the
+	// selection loop runs on the NaN-free suffix with a plain < compare —
+	// the comparator is the inner loop, and the NaN check would roughly
+	// double it.
+	nan := 0
+	for i, v := range work {
+		if math.IsNaN(v) {
+			work[i], work[nan] = work[nan], work[i]
+			nan++
+		}
+	}
+	from := nan
+	for _, k := range idxs {
+		if k < from {
+			continue // duplicate, NaN-pinned, or pinned by a previous selection
+		}
+		selectFloat64(work, from, n, k)
+		from = k + 1
+		if from >= n {
+			break
+		}
+	}
+	// work is only partially sorted, but every order-statistic position
+	// an interpolation reads was pinned by the selection loop above, so
+	// PercentileSorted reads the exact full-sort values.
+	for i, p := range ps {
+		out[i] = PercentileSorted(work, p)
+	}
+	return out
+}
+
+// selectFloat64 partially sorts the NaN-free range a[lo:hi] so that
+// a[k] holds the value a full ascending sort would put there,
+// everything left of k is ≤ a[k] and everything right is ≥ a[k].
+// Median-of-three quickselect with a three-way (Dutch-flag) partition:
+// heavily tied columns — binary presence/absence targets, ordinal
+// descriptors — collapse in one round instead of degrading
+// quadratically.
+func selectFloat64(a []float64, lo, hi, k int) {
+	for hi-lo > 12 {
+		// Median-of-three pivot.
+		mid := int(uint(lo+hi) >> 1)
+		p := median3(a[lo], a[mid], a[hi-1])
+		lt, gt := lo, hi-1
+		i := lo
+		for i <= gt {
+			switch {
+			case a[i] < p:
+				a[i], a[lt] = a[lt], a[i]
+				lt++
+				i++
+			case p < a[i]:
+				a[i], a[gt] = a[gt], a[i]
+				gt--
+			default:
+				i++
+			}
+		}
+		// a[lo:lt] < p ≤ a[lt:gt+1] == p ≤ a[gt+1:hi].
+		switch {
+		case k < lt:
+			hi = lt
+		case k > gt:
+			lo = gt + 1
+		default:
+			return // k lands in the equal run: done
+		}
+	}
+	// Small range: insertion sort settles every position.
+	for i := lo + 1; i < hi; i++ {
+		v := a[i]
+		j := i
+		for j > lo && v < a[j-1] {
+			a[j] = a[j-1]
+			j--
+		}
+		a[j] = v
+	}
+}
+
+func median3(a, b, c float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	if c < b {
+		b = c
+		if b < a {
+			b = a
+		}
+	}
+	return b
+}
+
 // PercentileSorted is Percentile over already-sorted data — the form
 // callers extracting several percentiles of one column use, so the
 // column is copied and sorted once instead of once per percentile.

@@ -291,6 +291,55 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+// TestPercentilesMatchesSortedExactly: the partial-selection Percentiles
+// must be bit-identical to sort + PercentileSorted — split points feed
+// every condition language, so any drift would silently change every
+// search result. Exercised over continuous, heavily tied (binary/ordinal)
+// and tiny inputs.
+func TestPercentilesMatchesSortedExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		xs := make([]float64, n)
+		switch trial % 4 {
+		case 0: // continuous
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+		case 1: // binary (mammals-style presence/absence)
+			for i := range xs {
+				xs[i] = float64(rng.Intn(2))
+			}
+		case 2: // small ordinal alphabet
+			for i := range xs {
+				xs[i] = float64(rng.Intn(5))
+			}
+		case 3: // continuous with NaNs (sorted first, like sort.Float64s)
+			for i := range xs {
+				if rng.Intn(8) == 0 {
+					xs[i] = math.NaN()
+				} else {
+					xs[i] = rng.NormFloat64()
+				}
+			}
+		}
+		var ps []float64
+		for k := 1 + rng.Intn(6); k > 0; k-- {
+			ps = append(ps, rng.Float64()*100)
+		}
+		ps = append(ps, 0, 100, 50)
+		got := Percentiles(xs, ps)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for i, p := range ps {
+			want := PercentileSorted(sorted, p)
+			if got[i] != want && !(math.IsNaN(got[i]) && math.IsNaN(want)) {
+				t.Fatalf("trial %d n=%d p=%v: %v != %v", trial, n, p, got[i], want)
+			}
+		}
+	}
+}
+
 func BenchmarkCovMat16(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	y := mat.NewDense(1000, 16)
