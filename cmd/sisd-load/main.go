@@ -37,7 +37,8 @@ func main() {
 	dataset := flag.String("dataset", "synthetic", "builtin dataset per session (synthetic|crime|mammals|socio|water)")
 	depth := flag.Int("depth", 2, "search depth per mine (0 = paper default 4)")
 	beam := flag.Int("beam", 0, "beam width (0 = paper default 40)")
-	spread := flag.Bool("spread", false, "also mine a spread preview each iteration")
+	spread := flag.Bool("spread", false, "also mine a pair-sparse spread preview each iteration (sessions are created pairSparse)")
+	pairSparse := flag.Bool("pair-sparse", true, "with -spread: constrain preview directions to attribute pairs (§III-C); false mines full-dimensional directions")
 	async := flag.Bool("async", false, "use the async job API (submit + poll) instead of sync mines")
 	timeoutMS := flag.Int("timeout-ms", 0, "per-mine budget in ms (0 = none)")
 	seedBase := flag.Int64("seed-base", 1000, "user u mines dataset seeded seed-base+u")
@@ -64,6 +65,7 @@ func main() {
 		Depth:      *depth,
 		BeamWidth:  *beam,
 		Spread:     *spread,
+		PairSparse: *spread && *pairSparse,
 		Async:      *async,
 		TimeoutMS:  *timeoutMS,
 		SeedBase:   *seedBase,

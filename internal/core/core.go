@@ -204,10 +204,28 @@ func (m *Miner) CommitLocation(loc *pattern.Location) error {
 // two-step procedure: the spread of a subgroup is only interpretable
 // once its location is known).
 func (m *Miner) MineSpread(loc *pattern.Location) (*pattern.Spread, error) {
+	sp, _, err := m.MineSpreadBudget(loc)
+	return sp, err
+}
+
+// MineSpreadBudget is MineSpread with the engine options threaded
+// through: the optimizer's restart pool inherits the search
+// parallelism, and an active Model.Deadline (the same budget the
+// background refit honours) bounds the direction search — the
+// optimizer then degrades to best-so-far, reported via timedOut,
+// instead of blowing the caller's mine budget.
+func (m *Miner) MineSpreadBudget(loc *pattern.Location) (sp *pattern.Spread, timedOut bool, err error) {
+	p := m.Cfg.Spread
+	if p.Parallelism <= 0 {
+		p.Parallelism = m.Cfg.Search.Parallelism
+	}
+	if p.Deadline.IsZero() {
+		p.Deadline = m.Model.Deadline
+	}
 	res, err := spreadopt.Optimize(m.Model, m.DS.Y, loc.Extension, loc.Mean,
-		len(loc.Intention), m.Cfg.SI, m.Cfg.Spread)
+		len(loc.Intention), m.Cfg.SI, p)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	return &pattern.Spread{
 		Intention: loc.Intention,
@@ -218,7 +236,7 @@ func (m *Miner) MineSpread(loc *pattern.Location) (*pattern.Spread, error) {
 		IC:        res.IC,
 		DL:        m.Cfg.SI.DL(len(loc.Intention), true),
 		SI:        res.SI,
-	}, nil
+	}, res.TimedOut, nil
 }
 
 // CommitSpread assimilates a spread pattern into the background model.

@@ -74,6 +74,15 @@ type Options struct {
 	Parallelism int       // worker goroutines (default GOMAXPROCS)
 	MinSupport  int       // minimum subgroup size (default 2)
 	Deadline    time.Time // zero means no time budget
+	// SelectTop, when positive, relaxes EvaluateBatch's ordering
+	// contract: only the first min(SelectTop, len) results are
+	// guaranteed to be the best of the batch, in engine order; the rest
+	// follow in unspecified order. Strategies that consume a bounded
+	// prefix (beam width, top-k log) set it to skip sorting the long
+	// tail of every level. The returned *set* of results is unchanged,
+	// so anything order-insensitive (the bounded top-k log) sees
+	// identical outcomes.
+	SelectTop int
 }
 
 func (o Options) withDefaults() Options {
@@ -298,7 +307,11 @@ func (e *Evaluator) EvaluateBatch(cands []Candidate) (kept []Scored, timedOut bo
 			kept = append(kept, out[i])
 		}
 	}
-	SortScored(kept)
+	if e.opt.SelectTop > 0 {
+		SelectTopScored(kept, e.opt.SelectTop)
+	} else {
+		SortScored(kept)
+	}
 	return kept, false
 }
 
@@ -378,18 +391,107 @@ func SortScored(s []Scored) {
 	})
 }
 
+func scoredPrecedes(a, b *Scored) bool {
+	return better(a.SI, a.Ids, b.SI, b.Ids)
+}
+
+// SelectTopScored partially orders s so that s[:k] holds the k best
+// elements by the engine ordering, sorted, while s[k:] is left in
+// unspecified order — equivalent to SortScored for every read of the
+// first k entries, at O(n + k·log k) instead of O(n·log n). The engine
+// ordering is strict and total (ties broken by canonical intention), so
+// the selected prefix is the same set a full sort would produce.
+func SelectTopScored(s []Scored, k int) {
+	if k <= 0 {
+		return
+	}
+	if k >= len(s) {
+		SortScored(s)
+		return
+	}
+	lo, hi := 0, len(s) // invariant: the k-boundary lies within s[lo:hi]
+	for hi-lo > 12 {
+		// Median-of-three pivot (by value copy; Hoare partition).
+		mid := int(uint(lo+hi) >> 1)
+		if scoredPrecedes(&s[mid], &s[lo]) {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if scoredPrecedes(&s[hi-1], &s[lo]) {
+			s[hi-1], s[lo] = s[lo], s[hi-1]
+		}
+		if scoredPrecedes(&s[hi-1], &s[mid]) {
+			s[hi-1], s[mid] = s[mid], s[hi-1]
+		}
+		p := s[mid]
+		i, j := lo, hi-1
+		for i <= j {
+			for scoredPrecedes(&s[i], &p) {
+				i++
+			}
+			for scoredPrecedes(&p, &s[j]) {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			hi = lo // boundary settled between j and i
+		}
+	}
+	// Small window: insertion sort settles every position in it.
+	for i := lo + 1; i < hi; i++ {
+		v := s[i]
+		j := i
+		for j > lo && scoredPrecedes(&v, &s[j-1]) {
+			s[j] = s[j-1]
+			j--
+		}
+		s[j] = v
+	}
+	SortScored(s[:k])
+}
+
 // Dedup tracks which canonical intentions have been generated, keyed by
 // a 64-bit integer hash of the ID slice with exact verification on the
 // (vanishingly rare) bucket collisions — replacing the former
 // map[string]bool over formatted intention keys, which allocated
 // several strings per candidate.
+//
+// When the language and depth fit (see NewDedupFor), the table instead
+// packs the whole canonical intention into one uint64 key — an exact,
+// collision-free identity — and hands out stored copies from a chunked
+// arena, so the per-fresh-intention allocation of the generic form
+// disappears from beam expansion.
 type Dedup struct {
 	m map[uint64][][]CondID
+
+	packed map[uint64]struct{} // non-nil → packed exact-key mode
+	arena  []CondID            // chunked backing storage for stored ids
 }
 
 // NewDedup returns an empty dedup table.
 func NewDedup() *Dedup {
 	return &Dedup{m: map[uint64][][]CondID{}}
+}
+
+// NewDedupFor returns a dedup table sized for intentions of at most
+// maxDepth conditions over a language of numConds conditions. When
+// every canonical intention packs into a single uint64 (at most 4 IDs,
+// each below 2¹⁶−1), the exact packed form is used; otherwise the
+// generic hash table.
+func NewDedupFor(numConds, maxDepth int) *Dedup {
+	if maxDepth <= 4 && numConds < 1<<16-1 {
+		return &Dedup{packed: make(map[uint64]struct{}, 1024)}
+	}
+	return NewDedup()
 }
 
 func hashIDs(ids []CondID) uint64 {
@@ -405,6 +507,27 @@ func hashIDs(ids []CondID) uint64 {
 // the stored copy and whether it was fresh. ids may be scratch — it is
 // copied before being retained, and only for fresh intentions.
 func (d *Dedup) Insert(ids []CondID) ([]CondID, bool) {
+	if d.packed != nil && len(ids) <= 4 {
+		// Exact key: ascending IDs, 16 bits each, offset by one so the
+		// packing distinguishes lengths.
+		var key uint64
+		for _, id := range ids {
+			key = key<<16 | uint64(id+1)
+		}
+		if _, dup := d.packed[key]; dup {
+			return nil, false
+		}
+		d.packed[key] = struct{}{}
+		if cap(d.arena)-len(d.arena) < len(ids) {
+			d.arena = make([]CondID, 0, 1<<14)
+		}
+		start := len(d.arena)
+		d.arena = append(d.arena, ids...)
+		return d.arena[start:len(d.arena):len(d.arena)], true
+	}
+	if d.m == nil {
+		d.m = map[uint64][][]CondID{}
+	}
 	h := hashIDs(ids)
 	for _, have := range d.m[h] {
 		if equalIDs(have, ids) {

@@ -36,6 +36,10 @@ type Config struct {
 	BeamWidth int `json:"beamWidth,omitempty"`
 	// Spread also mines a spread preview on every mine.
 	Spread bool `json:"spread,omitempty"`
+	// PairSparse creates the sessions with the §III-C 2-sparsity
+	// constraint on spread directions — the interpretable-direction
+	// serving scenario (meaningful with Spread set).
+	PairSparse bool `json:"pairSparse,omitempty"`
 	// Async drives the job API (submit + poll) instead of sync mines.
 	Async bool `json:"async,omitempty"`
 	// TimeoutMS is the per-mine budget handed to the server (0 = none).
@@ -71,12 +75,16 @@ type OpStats struct {
 
 // Report is the JSON output of a load run.
 type Report struct {
-	Config     Config             `json:"config"`
-	WallMS     float64            `json:"wallMs"`
-	Jobs       int                `json:"jobs"` // completed mine jobs
-	FailedJobs int                `json:"failedJobs"`
-	JobsPerSec float64            `json:"jobsPerSec"`
-	Ops        map[string]OpStats `json:"ops"`
+	Config     Config  `json:"config"`
+	WallMS     float64 `json:"wallMs"`
+	Jobs       int     `json:"jobs"` // completed mine jobs
+	FailedJobs int     `json:"failedJobs"`
+	JobsPerSec float64 `json:"jobsPerSec"`
+	// SpreadPreviews counts mines that returned a spread direction
+	// (spread-mode runs only): the server may legitimately drop the
+	// spread leg of a budgeted mine, so the count makes that visible.
+	SpreadPreviews int                `json:"spreadPreviews,omitempty"`
+	Ops            map[string]OpStats `json:"ops"`
 	// Errors holds the first few failures verbatim for diagnosis.
 	Errors []string `json:"errors,omitempty"`
 }
@@ -92,6 +100,7 @@ type user struct {
 	base    string
 	samples []sample
 	errs    []string
+	spreads int // mines that returned a spread preview
 }
 
 func (u *user) record(op string, start time.Time, err error) error {
@@ -180,10 +189,11 @@ func (u *user) loop(cfg Config, uid int) {
 	var info server.SessionInfo
 	start := time.Now()
 	err := u.call("POST", "/api/sessions", server.CreateRequest{
-		Dataset:   cfg.Dataset,
-		Seed:      cfg.SeedBase + int64(uid),
-		Depth:     cfg.Depth,
-		BeamWidth: cfg.BeamWidth,
+		Dataset:    cfg.Dataset,
+		Seed:       cfg.SeedBase + int64(uid),
+		Depth:      cfg.Depth,
+		BeamWidth:  cfg.BeamWidth,
+		PairSparse: cfg.PairSparse,
 	}, &info)
 	if u.record("create", start, err) != nil {
 		return
@@ -199,6 +209,9 @@ func (u *user) loop(cfg Config, uid int) {
 			// legitimate null; count it as a failed job, keep looping.
 			u.samples[len(u.samples)-1].ok = mined.Status == server.MineStatusTimeout
 			continue
+		}
+		if mined.Spread != nil {
+			u.spreads++
 		}
 		start = time.Now()
 		err = u.call("POST", "/api/sessions/"+info.ID+"/commit", nil, nil)
@@ -262,6 +275,7 @@ func Run(cfg Config) (*Report, error) {
 	failedByOp := map[string]int{}
 	for _, u := range users {
 		rep.Errors = append(rep.Errors, u.errs...)
+		rep.SpreadPreviews += u.spreads
 		for _, s := range u.samples {
 			if s.ok {
 				byOp[s.op] = append(byOp[s.op], s.ms)

@@ -387,6 +387,32 @@ func (c *Cholesky) SolveInto(dst, b Vec) Vec {
 	return x
 }
 
+// MahalanobisSq returns bᵀ·A⁻¹·b for the factorized A = L·Lᵀ as the
+// squared norm of the half-solve y = L⁻¹b — a forward substitution plus
+// a fused sum of squares, half the flops of SolveInto followed by a dot
+// product. scratch must have length N; it may alias b (each yᵢ is
+// written after bᵢ was read). This is the form every IC evaluation
+// uses: the quadratic form is all they need from the solve.
+func (c *Cholesky) MahalanobisSq(scratch, b Vec) float64 {
+	if len(b) != c.N || len(scratch) != c.N {
+		panic("mat: Cholesky.MahalanobisSq dimension mismatch")
+	}
+	n := c.N
+	y := scratch
+	var q float64
+	for i := 0; i < n; i++ {
+		row := c.L[i*n : i*n+i]
+		s := b[i]
+		for k, lv := range row {
+			s -= lv * y[k]
+		}
+		s /= c.L[i*n+i]
+		y[i] = s
+		q += s * s
+	}
+	return q
+}
+
 // LogDet returns log|A| of the factorized matrix.
 func (c *Cholesky) LogDet() float64 {
 	var s float64

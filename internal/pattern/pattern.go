@@ -292,24 +292,43 @@ func SubgroupVariance(y *mat.Dense, ext *bitset.Set, center, w mat.Vec) float64 
 // SubgroupScatter returns S = (1/|I|) Σ_{i∈I} (yᵢ−c)(yᵢ−c)ᵀ, so that
 // g_I^w(Ŷ) = wᵀ·S·w for every direction w. The spread optimizer
 // evaluates many directions against the same extension, so the scatter
-// is computed once.
+// is computed once. The rank-1 updates accumulate only the upper
+// triangle — for finite data the (a,b) and (b,a) products are the same
+// multiplications in the same order, so mirroring at the end
+// reproduces exactly what the former full outer-product accumulation
+// plus Symmetrize produced, at half the flops. (The zero-row skip
+// matches the one AddOuterScaled always had; only rows with exotic
+// NaN/Inf targets could tell the two apart.)
 func SubgroupScatter(y *mat.Dense, ext *bitset.Set, center mat.Vec) *mat.Dense {
 	d := y.C
 	s := mat.NewDense(d, d)
 	cnt := 0
 	diff := make(mat.Vec, d)
+	data := s.Data
 	ext.ForEach(func(i int) {
 		row := y.Row(i)
 		for j, v := range row {
 			diff[j] = v - center[j]
 		}
-		s.AddOuterScaled(1, diff, diff)
+		for a, da := range diff {
+			if da == 0 {
+				continue
+			}
+			sr := data[a*d : (a+1)*d]
+			for b := a; b < d; b++ {
+				sr[b] += da * diff[b]
+			}
+		}
 		cnt++
 	})
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			data[b*d+a] = data[a*d+b]
+		}
+	}
 	if cnt > 0 {
 		s.Scale(1 / float64(cnt))
 	}
-	s.Symmetrize()
 	return s
 }
 

@@ -109,10 +109,22 @@ func patterns(lang *engine.Language, log []engine.Scored) []Found {
 func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 	p = p.withDefaults()
 	lang := engine.LanguageFor(ds, p.NumSplits)
+	// The beam consumes a bounded prefix of every level: BeamWidth
+	// parents plus whatever can still enter the TopK log. Selecting that
+	// prefix instead of sorting the whole level keeps the long tail of
+	// thousands of scored-but-doomed candidates out of the sort, and —
+	// because the prefix holds the exact top entries in order — the log
+	// accepts them first and rejects everything behind them with one
+	// heap-root compare each.
+	selectTop := p.BeamWidth
+	if p.TopK > selectTop {
+		selectTop = p.TopK
+	}
 	ev := engine.NewEvaluator(lang, sc, engine.Options{
 		Parallelism: p.Parallelism,
 		MinSupport:  p.MinSupport,
 		Deadline:    p.Deadline,
+		SelectTop:   selectTop,
 	})
 
 	res := &Results{}
@@ -177,7 +189,7 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 		// here, before they cost a scoring pass. The table is per level:
 		// intentions at different depths have different lengths and can
 		// never collide, so nothing is gained by retaining older levels.
-		seen := engine.NewDedup()
+		seen := engine.NewDedupFor(len(lang.Conds), p.MaxDepth)
 		next := make([]engine.Candidate, 0, len(beam)*len(lang.Conds))
 		for _, b := range beam {
 			for ci := range lang.Conds {

@@ -425,7 +425,12 @@ func newSession(req *CreateRequest) (*session, error) {
 			NumSplits:   clamped.NumSplits,
 			Parallelism: clamped.Parallelism,
 		},
-		Spread: spreadopt.Params{PairSparse: clamped.PairSparse},
+		Spread: spreadopt.Params{
+			PairSparse: clamped.PairSparse,
+			// The spread preview's restart pool obeys the same clamped
+			// worker budget as the beam search.
+			Parallelism: clamped.Parallelism,
+		},
 	}
 	if clamped.Gamma != 0 || clamped.Eta != 0 {
 		cfg.SI = si.Params{Gamma: clamped.Gamma, Eta: clamped.Eta}
@@ -977,9 +982,18 @@ func (s *Server) mineJob(sess *session, req MineRequest) jobs.Fn {
 					return nil, fmt.Errorf("spread preview: %w", err)
 				}
 			} else {
-				sp, err = preview.MineSpread(loc)
+				// The direction search honours the same deadline (via
+				// preview.Model.Deadline): on expiry it degrades to the
+				// best direction found so far instead of pinning the
+				// worker, and the response is marked partial.
+				var spTimedOut bool
+				sp, spTimedOut, err = preview.MineSpreadBudget(loc)
 				if err != nil {
 					return nil, fmt.Errorf("spread: %w", err)
+				}
+				if spTimedOut {
+					resp.Status = MineStatusPartial
+					resp.TimedOut = true
 				}
 				resp.Spread = spreadJSON(sess.miner.DS, sp)
 			}

@@ -13,8 +13,11 @@ import (
 // The fused sufficient-statistics kernel must be a pure refactoring of
 // the naive multi-pass scorer: same floats, bit for bit. The reference
 // below is the pre-refactor implementation — one full AND-popcount
-// bitset pass per background group plus a ForEach walk of Y — kept
-// verbatim as the oracle.
+// bitset pass per background group plus a ForEach walk of Y — kept as
+// the oracle, with one deliberate co-evolution: both it and the fused
+// path moved from solve-then-dot to the forward-substitution
+// Cholesky.MahalanobisSq (the quadratic form is all either needs), so
+// the two remain the same float program.
 func referenceScore(m *background.Model, y *mat.Dense, shared *mat.Cholesky, logDetS float64,
 	ext *bitset.Set, numConds int, p Params) (si, ic float64, yhat mat.Vec, ok bool) {
 	cnt := ext.Count()
@@ -51,7 +54,7 @@ func referenceScore(m *background.Model, y *mat.Dense, shared *mat.Cholesky, log
 
 	diff := yhat.Sub(muI)
 	if shared != nil {
-		mahal := float64(cnt) * diff.Dot(shared.Solve(diff))
+		mahal := float64(cnt) * shared.MahalanobisSq(make(mat.Vec, d), diff)
 		ic = 0.5 * (float64(d)*math.Log(2*math.Pi) + logDetS -
 			float64(d)*math.Log(float64(cnt)) + mahal)
 	} else {
@@ -60,7 +63,7 @@ func referenceScore(m *background.Model, y *mat.Dense, shared *mat.Cholesky, log
 		if err != nil {
 			return 0, 0, nil, false
 		}
-		mahal := diff.Dot(chol.Solve(diff))
+		mahal := chol.MahalanobisSq(make(mat.Vec, d), diff)
 		ic = 0.5 * (float64(d)*math.Log(2*math.Pi) + chol.LogDet() + mahal)
 	}
 	return ic / p.DL(numConds, false), ic, yhat, true

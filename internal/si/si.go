@@ -82,8 +82,7 @@ func gaussianNegLogDensity(x, mu mat.Vec, cov *mat.Dense) (float64, error) {
 	}
 	d := len(mu)
 	diff := x.Sub(mu)
-	sol := chol.Solve(diff)
-	mahal := diff.Dot(sol)
+	mahal := chol.MahalanobisSq(diff, diff)
 	return 0.5 * (float64(d)*math.Log(2*math.Pi) + chol.LogDet() + mahal), nil
 }
 
@@ -109,6 +108,14 @@ func Moments(gs []background.GroupStats, total int) SpreadMoments {
 		a2 += c * a * a
 		a3 += c * a * a * a
 	}
+	return MomentsFromSums(a1, a2, a3)
+}
+
+// MomentsFromSums builds the three-moment fit directly from the moment
+// sums A₁..A₃ — the form the spread optimizer uses, whose evaluation
+// engine maintains the sums itself (from precomputed quadratic forms)
+// rather than through per-group GroupStats.
+func MomentsFromSums(a1, a2, a3 float64) SpreadMoments {
 	return SpreadMoments{
 		Alpha: a3 / a2,
 		Beta:  a1 - a2*a2/a3,
@@ -418,70 +425,123 @@ func (w *LocationWorker) ScoreStats(counts []int32, ysum mat.Vec, size, numConds
 
 // accumulate runs the fused pass: one trailing-zeros walk over ext
 // bumping the label-indexed group counts and summing target rows into
-// w.yhat, returning |ext|. The four specializations keep the per-bit
-// work minimal for the two axes that matter: a fresh model has a single
+// w.yhat, returning |ext|. The specializations keep the per-bit work
+// minimal for the two axes that matter: a fresh model has a single
 // group (counts collapse to the popcount) and single-target datasets
-// collapse the row loop to one scalar add.
+// collapse the row loop to one scalar add. For few-group models a
+// second axis applies: per-group counts come from AND-popcounts of the
+// group membership bitsets (#groups·n/64 word operations), which beats
+// carrying the label lookup, count bump and touched-bitmap update
+// through every member of the walk — the walk then only sums target
+// rows. The counts are the same integers either way, so finish sees
+// identical inputs and the scored floats are unchanged.
 func (w *LocationWorker) accumulate(ext *bitset.Set) int {
 	// w.counts and w.touched are all-zero here: finish clears every slot
 	// it visited, so no O(#groups) memset is needed per candidate.
 	s := w.s
-	counts := w.counts
-	touched := w.touched
-	labels := s.labels
-	data := s.Y.Data
 	d := s.d
 	single := len(s.groups) == 1
+	// plain: no per-member label bookkeeping needed during the walk —
+	// either there is one group, or the counts were already computed by
+	// the AND-popcount pass below.
+	plain := single
+	if !single {
+		cnt := ext.Count()
+		if cnt == 0 {
+			return 0
+		}
+		if len(s.groups)*len(ext.Words()) < cnt*4 {
+			plain = true
+			for gi, g := range s.groups {
+				if c := g.Members.IntersectCount(ext); c != 0 {
+					w.counts[gi] = int32(c)
+					w.touched[gi>>6] |= 1 << (uint(gi) & 63)
+				}
+			}
+		}
+	}
+	// Each walk variant is its own small function so the hot loops get
+	// clean register allocation instead of sharing one sprawling frame.
+	var cnt int
+	switch {
+	case d == 1 && plain:
+		cnt = w.sumD1Plain(ext)
+	case d == 1:
+		cnt = w.sumD1Labeled(ext)
+	case plain && d <= 5:
+		cnt = w.sumRowsSmallD(ext)
+	case plain:
+		cnt = w.sumRowsPlain(ext)
+	default:
+		cnt = w.sumRowsLabeled(ext)
+	}
+	if single && cnt > 0 {
+		w.counts[0] = int32(cnt)
+		w.touched[0] = 1
+	}
+	return cnt
+}
+
+// sumD1Plain sums the single target column over ext into w.yhat.
+func (w *LocationWorker) sumD1Plain(ext *bitset.Set) int {
+	data := w.s.Y.Data
+	var sum float64
 	cnt := 0
-	if d == 1 {
-		var sum float64
-		if single {
-			for wi, word := range ext.Words() {
-				base := wi * 64
-				for word != 0 {
-					b := bits.TrailingZeros64(word)
-					word &= word - 1
-					sum += data[base+b]
-					cnt++
-				}
-			}
-		} else {
-			for wi, word := range ext.Words() {
-				base := wi * 64
-				for word != 0 {
-					b := bits.TrailingZeros64(word)
-					word &= word - 1
-					i := base + b
-					lab := labels[i]
-					counts[lab]++
-					touched[lab>>6] |= 1 << (uint(lab) & 63)
-					sum += data[i]
-					cnt++
-				}
-			}
+	for wi, word := range ext.Words() {
+		base := wi * 64
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			sum += data[base+b]
+			cnt++
 		}
-		w.yhat[0] = sum
-		if single && cnt > 0 {
-			counts[0] = int32(cnt)
-			touched[0] = 1
-		}
-		return cnt
 	}
-	yhat := w.yhat
-	for j := range yhat {
-		yhat[j] = 0
-	}
+	w.yhat[0] = sum
+	return cnt
+}
+
+// sumD1Labeled is sumD1Plain fused with the per-member group-count
+// bookkeeping (label lookup, count bump, touched bitmap).
+func (w *LocationWorker) sumD1Labeled(ext *bitset.Set) int {
+	data := w.s.Y.Data
+	labels := w.s.labels
+	counts := w.counts
+	touched := w.touched
+	var sum float64
+	cnt := 0
 	for wi, word := range ext.Words() {
 		base := wi * 64
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
 			word &= word - 1
 			i := base + b
-			if !single {
-				lab := labels[i]
-				counts[lab]++
-				touched[lab>>6] |= 1 << (uint(lab) & 63)
-			}
+			lab := labels[i]
+			counts[lab]++
+			touched[lab>>6] |= 1 << (uint(lab) & 63)
+			sum += data[i]
+			cnt++
+		}
+	}
+	w.yhat[0] = sum
+	return cnt
+}
+
+// sumRowsPlain sums the target rows of ext into w.yhat, no group
+// bookkeeping.
+func (w *LocationWorker) sumRowsPlain(ext *bitset.Set) int {
+	data := w.s.Y.Data
+	d := w.s.d
+	yhat := w.yhat
+	for j := range yhat {
+		yhat[j] = 0
+	}
+	cnt := 0
+	for wi, word := range ext.Words() {
+		base := wi * 64
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			i := base + b
 			row := data[i*d : i*d+d]
 			for j, v := range row {
 				yhat[j] += v
@@ -489,9 +549,120 @@ func (w *LocationWorker) accumulate(ext *bitset.Set) int {
 			cnt++
 		}
 	}
-	if single && cnt > 0 {
-		counts[0] = int32(cnt)
-		touched[0] = 1
+	return cnt
+}
+
+// sumRowsLabeled is sumRowsPlain fused with the per-member group-count
+// bookkeeping — the many-groups path where AND-popcounts would cost
+// more than the labels.
+func (w *LocationWorker) sumRowsLabeled(ext *bitset.Set) int {
+	data := w.s.Y.Data
+	labels := w.s.labels
+	counts := w.counts
+	touched := w.touched
+	d := w.s.d
+	yhat := w.yhat
+	for j := range yhat {
+		yhat[j] = 0
+	}
+	cnt := 0
+	for wi, word := range ext.Words() {
+		base := wi * 64
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			i := base + b
+			lab := labels[i]
+			counts[lab]++
+			touched[lab>>6] |= 1 << (uint(lab) & 63)
+			row := data[i*d : i*d+d]
+			for j, v := range row {
+				yhat[j] += v
+			}
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// sumRowsSmallD sums the target rows of ext into w.yhat for 2 ≤ d ≤ 5
+// with fixed-width unrolled accumulators. Each yhat component receives
+// exactly the adds of the generic row loop in the same ascending member
+// order, so the result is bit-identical.
+func (w *LocationWorker) sumRowsSmallD(ext *bitset.Set) int {
+	data := w.s.Y.Data
+	d := w.s.d
+	yhat := w.yhat
+	cnt := 0
+	var s0, s1, s2, s3, s4 float64
+	switch d {
+	case 2:
+		for wi, word := range ext.Words() {
+			base := wi * 64
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				row := data[(base+b)*2:]
+				s0 += row[0]
+				s1 += row[1]
+				cnt++
+			}
+		}
+	case 3:
+		for wi, word := range ext.Words() {
+			base := wi * 64
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				row := data[(base+b)*3:]
+				s0 += row[0]
+				s1 += row[1]
+				s2 += row[2]
+				cnt++
+			}
+		}
+	case 4:
+		for wi, word := range ext.Words() {
+			base := wi * 64
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				row := data[(base+b)*4:]
+				s0 += row[0]
+				s1 += row[1]
+				s2 += row[2]
+				s3 += row[3]
+				cnt++
+			}
+		}
+	case 5:
+		for wi, word := range ext.Words() {
+			base := wi * 64
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				row := data[(base+b)*5:]
+				s0 += row[0]
+				s1 += row[1]
+				s2 += row[2]
+				s3 += row[3]
+				s4 += row[4]
+				cnt++
+			}
+		}
+	default:
+		panic("si: sumRowsSmallD out of range")
+	}
+	yhat[0] = s0
+	yhat[1] = s1
+	if d > 2 {
+		yhat[2] = s2
+	}
+	if d > 3 {
+		yhat[3] = s3
+	}
+	if d > 4 {
+		yhat[4] = s4
 	}
 	return cnt
 }
@@ -550,8 +721,14 @@ func (w *LocationWorker) finish(counts []int32, cnt, numConds int, touched []uin
 			muI[j] = 0
 		}
 		if cov != nil {
-			for j := range cov.Data {
-				cov.Data[j] = 0
+			// Only the lower triangle is maintained: Cholesky.Factor is
+			// documented to read nothing else, so the upper half of the
+			// Σ_I accumulation (it is symmetric) would be dead work.
+			for r := 0; r < d; r++ {
+				zr := cov.Data[r*d : r*d+r+1]
+				for j := range zr {
+					zr[j] = 0
+				}
 			}
 		}
 		acc := func(gi int, wt float64) {
@@ -560,7 +737,14 @@ func (w *LocationWorker) finish(counts []int32, cnt, numConds int, touched []uin
 				muI[j] += wt * v
 			}
 			if cov != nil {
-				cov.AddScaled(wt, s.groups[gi].Sigma)
+				sig := s.groups[gi].Sigma.Data
+				for r := 0; r < d; r++ {
+					src := sig[r*d : r*d+r+1]
+					dst := cov.Data[r*d : r*d+r+1]
+					for c, v := range src {
+						dst[c] += wt * v
+					}
+				}
 			}
 		}
 		if touched != nil {
@@ -594,15 +778,21 @@ func (w *LocationWorker) finish(counts []int32, cnt, numConds int, touched []uin
 	}
 	if s.shared != nil {
 		// Σ_I = Σ/|I|: log|Σ_I| = log|Σ| − d·log|I|, Mahal scales by |I|.
-		mahal := float64(cnt) * diff.Dot(s.shared.SolveInto(w.sol, diff))
+		mahal := float64(cnt) * s.shared.MahalanobisSq(w.sol, diff)
 		ic = 0.5 * (float64(d)*math.Log(2*math.Pi) + s.logDetS -
 			float64(d)*math.Log(float64(cnt)) + mahal)
 	} else {
-		cov.Scale(1 / float64(cnt*cnt))
+		inv := 1 / float64(cnt*cnt)
+		for r := 0; r < d; r++ {
+			sr := cov.Data[r*d : r*d+r+1]
+			for c := range sr {
+				sr[c] *= inv
+			}
+		}
 		if err := w.chol.Factor(cov); err != nil {
 			return 0, 0, nil, false
 		}
-		mahal := diff.Dot(w.chol.SolveInto(w.sol, diff))
+		mahal := w.chol.MahalanobisSq(w.sol, diff)
 		ic = 0.5 * (float64(d)*math.Log(2*math.Pi) + w.chol.LogDet() + mahal)
 	}
 	return ic / s.P.DL(numConds, false), ic, yhat, true

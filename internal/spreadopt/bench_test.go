@@ -1,0 +1,111 @@
+package spreadopt
+
+import (
+	"testing"
+
+	"repro/internal/background"
+	"repro/internal/bitset"
+	"repro/internal/gen"
+	"repro/internal/mat"
+	"repro/internal/pattern"
+	"repro/internal/si"
+	"repro/internal/stats"
+)
+
+// benchObjective builds the two-step state the optimizer runs from on a
+// generated replica: MaxEnt model on the empirical moments, a subgroup
+// extension, and its location committed.
+func benchObjective(b *testing.B, y *mat.Dense, frac int) (*background.Model, *bitset.Set, mat.Vec) {
+	b.Helper()
+	n := y.R
+	mu := stats.MeanVec(y, nil)
+	cov := stats.CovMat(y, nil)
+	m, err := background.New(n, mu, cov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext := bitset.New(n)
+	for i := 0; i < n/frac; i++ {
+		ext.Add(i)
+	}
+	center := pattern.SubgroupMean(y, ext)
+	if err := m.CommitLocation(ext, center); err != nil {
+		b.Fatal(err)
+	}
+	return m, ext, center
+}
+
+// BenchmarkSpreadOptimizeMammals measures a full general-mode
+// multi-start optimization at the paper's highest target dimensionality
+// (mammals replica, d=124): eigenvector seeding plus restarts, each
+// ascended with the sufficient-statistics line search.
+func BenchmarkSpreadOptimizeMammals(b *testing.B) {
+	y := gen.MammalsLike(gen.SeedMammals).DS.Y
+	m, ext, center := benchObjective(b, y, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(m, y, ext, center, 2, si.Default(), Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpreadPairSparseSocio measures the §III-C pair-sparse mode
+// on the socio-economics replica (d=5, 10 pairs) — the per-request cost
+// of the server's interpretable spread preview.
+func BenchmarkSpreadPairSparseSocio(b *testing.B) {
+	y := gen.SocioEconLike(gen.SeedSocio).DS.Y
+	m, ext, center := benchObjective(b, y, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(m, y, ext, center, 2, si.Default(), Params{PairSparse: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpreadEvalMammals tracks the steady-state objective
+// evaluation at d=124: two quadratic forms per distinct Σ, zero
+// allocations.
+func BenchmarkSpreadEvalMammals(b *testing.B) {
+	y := gen.MammalsLike(gen.SeedMammals).DS.Y
+	m, ext, center := benchObjective(b, y, 3)
+	o, err := newObjective(m, y, ext, center)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := make(mat.Vec, y.C)
+	w[0], w[1] = 3, -4
+	w.Normalize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = o.eval(w)
+	}
+}
+
+// BenchmarkSpreadEvalGradMammals tracks the steady-state fused
+// IC+gradient evaluation at d=124 (the ascent's per-iteration kernel):
+// one Σ·w product per distinct matrix, zero allocations.
+func BenchmarkSpreadEvalGradMammals(b *testing.B) {
+	y := gen.MammalsLike(gen.SeedMammals).DS.Y
+	m, ext, center := benchObjective(b, y, 3)
+	o, err := newObjective(m, y, ext, center)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := o.newCtx()
+	w := make(mat.Vec, y.C)
+	w[0], w[1] = 3, -4
+	w.Normalize()
+	grad := make(mat.Vec, y.C)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = ctx.evalGrad(w, grad)
+	}
+}
+
+var sink float64

@@ -1,0 +1,225 @@
+package spreadopt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/si"
+)
+
+// buildMultiSigma prepares an objective with several distinct background
+// covariances: a base case plus extra spread commits that diverge Σ
+// between groups, so the closed-form pair path is exercised with more
+// than one matrix.
+func buildMultiSigma(t *testing.T, n, d int, seed int64) *objective {
+	t.Helper()
+	v := make(mat.Vec, d)
+	v[0], v[d-1] = 1, -1
+	m, y, ext, center := buildCase(t, n, d, v, 5.0, seed)
+	// A spread commit on a half-extension splits the groups and gives
+	// them distinct covariances.
+	half := ext.Clone()
+	for i := 0; i < n/2; i++ {
+		half.Remove(i)
+	}
+	w := make(mat.Vec, d)
+	w[0] = 1
+	if err := m.CommitSpread(half, w, center, 1.3); err != nil {
+		t.Fatal(err)
+	}
+	o, err := newObjective(m, y, ext, center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.sigmas) < 2 {
+		t.Fatalf("want ≥2 distinct Σ, got %d", len(o.sigmas))
+	}
+	return o
+}
+
+// TestPairClosedFormMatchesDenseObjective: the 2×2-projection
+// evaluation must agree with the dense objective on the corresponding
+// sparse direction to ≤1e-12 — they are the same float program modulo
+// the dense path's +0.0 terms.
+func TestPairClosedFormMatchesDenseObjective(t *testing.T) {
+	for _, tc := range []struct {
+		n, d int
+		seed int64
+	}{{200, 4, 21}, {300, 6, 22}, {150, 3, 23}} {
+		o := buildMultiSigma(t, tc.n, tc.d, tc.seed)
+		ctx := o.newCtx()
+		w := make(mat.Vec, tc.d)
+		for i := 0; i < tc.d-1; i++ {
+			for j := i + 1; j < tc.d; j++ {
+				sII, sIJ, sJI, sJJ := ctx.loadPair(i, j)
+				for g := 0; g < 37; g++ {
+					theta := math.Pi * float64(g) / 37
+					closed := ctx.evalPairTheta(theta, sII, sIJ, sJI, sJJ)
+					for k := range w {
+						w[k] = 0
+					}
+					w[i] = math.Cos(theta)
+					w[j] = math.Sin(theta)
+					dense := o.eval(w)
+					if diff := math.Abs(closed - dense); diff > 1e-12*(1+math.Abs(dense)) {
+						t.Fatalf("d=%d pair(%d,%d) θ=%v: closed %v vs dense %v (diff %g)",
+							tc.d, i, j, theta, closed, dense, diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+// densePairReference mirrors optimizePairs' sequential control flow —
+// same grid, same carried golden-section, same reduction — but
+// evaluates every θ through the dense objective, as the pre-closed-form
+// implementation did. The engine must select the identical (i,j,θ)
+// argmax.
+func densePairReference(o *objective, d int) (mat.Vec, float64) {
+	w := make(mat.Vec, d)
+	evalTheta := func(i, j int, theta float64) float64 {
+		for k := range w {
+			w[k] = 0
+		}
+		w[i] = math.Cos(theta)
+		w[j] = math.Sin(theta)
+		return o.eval(w)
+	}
+	var best mat.Vec
+	bestIC := math.Inf(-1)
+	for i := 0; i < d-1; i++ {
+		for j := i + 1; j < d; j++ {
+			const grid = 96
+			bestTheta, bestVal := 0.0, math.Inf(-1)
+			for g := 0; g < grid; g++ {
+				theta := math.Pi * float64(g) / grid
+				if v := evalTheta(i, j, theta); v > bestVal {
+					bestVal, bestTheta = v, theta
+				}
+			}
+			lo := bestTheta - math.Pi/grid
+			hi := bestTheta + math.Pi/grid
+			const phi = 0.6180339887498949
+			m1 := hi - phi*(hi-lo)
+			m2 := lo + phi*(hi-lo)
+			f1 := evalTheta(i, j, m1)
+			f2 := evalTheta(i, j, m2)
+			for iter := 0; iter < 60; iter++ {
+				if f1 > f2 {
+					hi, m2, f2 = m2, m1, f1
+					m1 = hi - phi*(hi-lo)
+					f1 = evalTheta(i, j, m1)
+				} else {
+					lo, m1, f1 = m1, m2, f2
+					m2 = lo + phi*(hi-lo)
+					f2 = evalTheta(i, j, m2)
+				}
+			}
+			theta := (lo + hi) / 2
+			if v := evalTheta(i, j, theta); v > bestVal {
+				bestVal, bestTheta = v, theta
+			}
+			if bestVal > bestIC {
+				bestIC = bestVal
+				best = make(mat.Vec, d)
+				best[i] = math.Cos(bestTheta)
+				best[j] = math.Sin(bestTheta)
+			}
+		}
+	}
+	canonicalize(best)
+	return best, bestIC
+}
+
+// TestPairSparseSelectsDenseArgmax: the full pair-sparse optimizer must
+// select the identical (i,j,θ) argmax as the dense-objective reference.
+func TestPairSparseSelectsDenseArgmax(t *testing.T) {
+	for _, tc := range []struct {
+		n, d int
+		seed int64
+	}{{250, 4, 31}, {200, 5, 32}, {160, 3, 33}} {
+		o := buildMultiSigma(t, tc.n, tc.d, tc.seed)
+		res, err := optimizePairs(o, tc.d, 1, si.Default(), Params{}.withDefaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantW, wantIC := densePairReference(o, tc.d)
+		if math.Abs(res.IC-wantIC) > 1e-12*(1+math.Abs(wantIC)) {
+			t.Fatalf("d=%d: IC %v vs dense reference %v", tc.d, res.IC, wantIC)
+		}
+		for k := range wantW {
+			if math.Abs(res.W[k]-wantW[k]) > 1e-12 {
+				t.Fatalf("d=%d: W[%d] = %v vs dense reference %v", tc.d, k, res.W[k], wantW[k])
+			}
+		}
+	}
+}
+
+// TestParallelRestartsByteIdentical: Optimize must return byte-identical
+// results at any worker count, in both the general and the pair-sparse
+// mode — the reduction is deterministic, not schedule-dependent.
+func TestParallelRestartsByteIdentical(t *testing.T) {
+	for _, pairSparse := range []bool{false, true} {
+		o := func() *Result {
+			m, y, ext, center := buildCase(t, 400, 5, mat.Vec{1, 2, 0, -1, 0.5}, 7.0, 41)
+			res, err := Optimize(m, y, ext, center, 2, si.Default(),
+				Params{PairSparse: pairSparse, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}()
+		for _, par := range []int{2, 3, 8} {
+			m, y, ext, center := buildCase(t, 400, 5, mat.Vec{1, 2, 0, -1, 0.5}, 7.0, 41)
+			res, err := Optimize(m, y, ext, center, 2, si.Default(),
+				Params{PairSparse: pairSparse, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Starts != o.Starts ||
+				math.Float64bits(res.IC) != math.Float64bits(o.IC) ||
+				math.Float64bits(res.SI) != math.Float64bits(o.SI) ||
+				math.Float64bits(res.Variance) != math.Float64bits(o.Variance) {
+				t.Fatalf("pairSparse=%v parallelism=%d: %+v vs serial %+v", pairSparse, par, res, o)
+			}
+			if len(res.W) != len(o.W) {
+				t.Fatalf("W length mismatch")
+			}
+			for k := range o.W {
+				if math.Float64bits(res.W[k]) != math.Float64bits(o.W[k]) {
+					t.Fatalf("pairSparse=%v parallelism=%d: W[%d] %v vs %v",
+						pairSparse, par, k, res.W[k], o.W[k])
+				}
+			}
+		}
+	}
+}
+
+// TestDeadlineDegradesToBestSoFar: an already-expired deadline must
+// still produce a valid direction (the first start is guaranteed), with
+// TimedOut set — the serving path depends on this degradation.
+func TestDeadlineDegradesToBestSoFar(t *testing.T) {
+	for _, pairSparse := range []bool{false, true} {
+		m, y, ext, center := buildCase(t, 300, 4, mat.Vec{1, 1, 0, 0}, 6.0, 51)
+		res, err := Optimize(m, y, ext, center, 1, si.Default(),
+			Params{PairSparse: pairSparse, Deadline: time.Now().Add(-time.Second)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.TimedOut {
+			t.Fatalf("pairSparse=%v: expected TimedOut", pairSparse)
+		}
+		if res.Starts < 1 {
+			t.Fatalf("pairSparse=%v: Starts = %d, want ≥1", pairSparse, res.Starts)
+		}
+		if math.IsNaN(res.IC) || math.IsInf(res.IC, 0) {
+			t.Fatalf("pairSparse=%v: IC = %v", pairSparse, res.IC)
+		}
+		if math.Abs(res.W.Norm()-1) > 1e-9 {
+			t.Fatalf("pairSparse=%v: |w| = %v", pairSparse, res.W.Norm())
+		}
+	}
+}

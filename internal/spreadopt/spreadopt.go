@@ -9,18 +9,43 @@
 //
 // The 2-sparsity mode of §III-C (optimize w over every attribute pair
 // and keep the best) is provided for interpretable directions.
+//
+// The package is organised as a sufficient-statistics evaluation
+// engine (DESIGN.md §8): the objective only ever sees a direction
+// through the quadratic forms wᵀSw (observed variance) and wᵀΣw per
+// *distinct* background covariance, so
+//
+//   - the pair-sparse mode projects every matrix to a 2×2 once per
+//     (i,j) pair and evaluates each θ in O(#distinct Σ) scalar flops —
+//     no dense pass over a vector that is zero everywhere but two
+//     entries;
+//   - the dense ascent's backtracking line search evaluates candidates
+//     w(t) = (w + t·g)/‖w + t·g‖ through ratios of quadratics in t,
+//     precomputed from the matrix-vector products the gradient needed
+//     anyway, so each trial is O(#distinct Σ) as well;
+//   - all per-iteration intermediates live in per-worker scratch
+//     (evalCtx), making steady-state eval/evalGrad allocation-free;
+//   - the start set (eigenvector seeds + random restarts) runs on a
+//     deterministic parallel worker pool whose reduction (IC
+//     descending, canonical-w ascending) is byte-identical at any
+//     worker count, and honours a Deadline budget Model.Deadline-style
+//     by degrading to best-so-far.
 package spreadopt
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/background"
 	"repro/internal/bitset"
 	"repro/internal/mat"
 	"repro/internal/pattern"
+	"repro/internal/randx"
 	"repro/internal/si"
 )
 
@@ -32,6 +57,17 @@ type Params struct {
 	Restarts   int     // random restart directions (default 8)
 	Seed       int64   // seed for the random restarts (default 1)
 	PairSparse bool    // restrict w to two nonzero components (§III-C)
+	// Parallelism bounds the workers ascending seeds (general mode) or
+	// scanning attribute pairs (pair-sparse mode); default GOMAXPROCS.
+	// Results are byte-identical at any value.
+	Parallelism int
+	// Deadline, when non-zero, bounds the wall time the way
+	// background.Model.Deadline bounds a refit: the first start always
+	// completes (possibly with its ascent cut short), later starts are
+	// skipped once the deadline passes, and the result degrades to the
+	// best direction found so far with Result.TimedOut set — instead of
+	// blowing the caller's budget or failing outright.
+	Deadline time.Time
 }
 
 func (p Params) withDefaults() Params {
@@ -47,6 +83,9 @@ func (p Params) withDefaults() Params {
 	if p.Seed == 0 {
 		p.Seed = 1
 	}
+	if p.Parallelism <= 0 {
+		p.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return p
 }
 
@@ -57,25 +96,29 @@ type Result struct {
 	IC       float64
 	SI       float64
 	Starts   int // number of starts actually explored
+	// TimedOut reports that the Deadline cut the start set (or an
+	// ascent) short and the result is best-so-far rather than the full
+	// multi-start optimum.
+	TimedOut bool
 }
 
 // ErrNoDirection is returned when no valid direction could be scored.
 var ErrNoDirection = errors.New("spreadopt: no valid direction found")
 
-// objective evaluates the spread IC (and its Euclidean gradient) as a
-// function of the direction w, for a fixed extension. The moment sums
-// A₁..A₃ only see a group through wᵀΣw and its count, so groups sharing
-// a covariance matrix (location-split siblings — Theorem 1 never
-// diverges them) are merged at construction: the gradient-ascent inner
-// loop then computes one quadratic form per *distinct* matrix per
-// iteration, which for the location-only regime is a single pass no
-// matter how many groups the model has split into.
+// objective holds the sufficient statistics of the spread IC for a
+// fixed extension: the subgroup scatter S (ĝ(w) = wᵀSw) and, per
+// *distinct* background covariance, the aggregated member count. The
+// moment sums A₁..A₃ only see a group through wᵀΣw and its count, so
+// groups sharing a covariance matrix (location-split siblings —
+// Theorem 1 never diverges them) are merged at construction: every
+// evaluation then computes one quadratic form per distinct matrix,
+// which for the location-only regime is a single form no matter how
+// many groups the model has split into.
 type objective struct {
 	total   float64
 	counts  []float64
 	sigmas  []*mat.Dense // distinct matrices, counts aggregated
 	scatter *mat.Dense   // S with ĝ(w) = wᵀSw
-	gw      mat.Vec      // scratch for Σ·w in the gradient loop
 }
 
 func newObjective(m *background.Model, y *mat.Dense, ext *bitset.Set, center mat.Vec) (*objective, error) {
@@ -86,7 +129,6 @@ func newObjective(m *background.Model, y *mat.Dense, ext *bitset.Set, center mat
 	o := &objective{
 		total:   float64(total),
 		scatter: pattern.SubgroupScatter(y, ext, center),
-		gw:      make(mat.Vec, m.D()),
 	}
 	// One fused pass over ext for all per-group counts (instead of one
 	// AND-popcount pass per group), then merge by Σ identity.
@@ -125,63 +167,164 @@ func (o *objective) moments(w mat.Vec) (si.SpreadMoments, float64) {
 		a2 += c * a * a
 		a3 += c * a * a * a
 	}
-	sm := si.SpreadMoments{
-		Alpha: a3 / a2, Beta: a1 - a2*a2/a3, M: a2 * a2 * a2 / (a3 * a3),
-		A1: a1, A2: a2, A3: a3,
-	}
-	return sm, o.scatter.QuadForm(w)
+	return si.MomentsFromSums(a1, a2, a3), o.scatter.QuadForm(w)
 }
 
-// eval returns the IC at w.
+// eval returns the IC at w. Allocation-free: quadratic forms only.
 func (o *objective) eval(w mat.Vec) float64 {
 	sm, ghat := o.moments(w)
 	return si.SpreadICFromMoments(sm, ghat)
 }
 
-// evalGrad returns the IC and writes the Euclidean gradient into grad.
-func (o *objective) evalGrad(w mat.Vec, grad mat.Vec) float64 {
-	sm, ghat := o.moments(w)
+// evalCtx is a single-worker evaluation context: every intermediate of
+// the gradient ascent (direction, gradient, candidate, the S·w / Σ·w /
+// S·g / Σ·g products and the per-Σ quadratic forms) lives in
+// worker-owned scratch, so steady-state eval/evalGrad/ascend perform no
+// heap allocations. Workers are independent; one per goroutine.
+type evalCtx struct {
+	o          *objective
+	w          mat.Vec // current direction (ascend's working vector)
+	grad       mat.Vec
+	cand       mat.Vec
+	sw, sg     mat.Vec   // S·w and S·g
+	sigW, sigG mat.Vec   // flattened #Σ×d: Σₖ·w and Σₖ·g
+	qw         []float64 // wᵀΣₖw
+	qgw        []float64 // gᵀΣₖw
+	qgg        []float64 // gᵀΣₖg
+	// Pair-sparse scratch: the 2×2 projections of each distinct Σ onto
+	// the current (i,j) pair — [Σᵢᵢ, Σᵢⱼ, Σⱼᵢ, Σⱼⱼ] per matrix.
+	pII, pIJ, pJI, pJJ []float64
+}
+
+func (o *objective) newCtx() *evalCtx {
+	d := o.scatter.R
+	k := len(o.sigmas)
+	return &evalCtx{
+		o:    o,
+		w:    make(mat.Vec, d),
+		grad: make(mat.Vec, d),
+		cand: make(mat.Vec, d),
+		sw:   make(mat.Vec, d),
+		sg:   make(mat.Vec, d),
+		sigW: make(mat.Vec, k*d),
+		sigG: make(mat.Vec, k*d),
+		qw:   make([]float64, k),
+		qgw:  make([]float64, k),
+		qgg:  make([]float64, k),
+		pII:  make([]float64, k),
+		pIJ:  make([]float64, k),
+		pJI:  make([]float64, k),
+		pJJ:  make([]float64, k),
+	}
+}
+
+// evalGrad returns the IC at w and writes the Euclidean gradient into
+// grad, leaving the per-matrix products (c.sw, c.sigW, c.qw) populated
+// for the caller — ascend's line search feeds on them. Zero-alloc.
+func (c *evalCtx) evalGrad(w mat.Vec, grad mat.Vec) float64 {
+	o := c.o
+	d := len(w)
+	inv := 1 / o.total
+	// Fused pass: one Σ·w product per distinct matrix serves both the
+	// quadratic form (moments) and the gradient term.
+	sw := o.scatter.MulVecInto(c.sw, w)
+	ghat := w.Dot(sw)
+	var a1, a2, a3 float64
+	for gi := range o.sigmas {
+		gw := o.sigmas[gi].MulVecInto(c.sigW[gi*d:(gi+1)*d], w)
+		q := w.Dot(gw)
+		c.qw[gi] = q
+		a := q * inv
+		cc := o.counts[gi]
+		a1 += cc * a
+		a2 += cc * a * a
+		a3 += cc * a * a * a
+	}
+	sm := si.MomentsFromSums(a1, a2, a3)
 	ic, dG, dA1, dA2, dA3 := si.SpreadICGradientTerms(sm, ghat)
 
 	// ∇ĝ = 2Sw.
-	sw := o.scatter.MulVecInto(o.gw, w)
 	for i := range grad {
 		grad[i] = 2 * dG * sw[i]
 	}
 	// ∇Aₖ = Σ_g c_g·k·a_gᵏ⁻¹·(2Σ_g w / |I|).
-	inv := 1 / o.total
-	for gi, sigma := range o.sigmas {
-		gw := sigma.MulVecInto(o.gw, w)
-		a := w.Dot(gw) * inv
+	for gi := range o.sigmas {
+		a := c.qw[gi] * inv
 		coeff := o.counts[gi] * (dA1 + 2*dA2*a + 3*dA3*a*a) * 2 * inv
-		grad.AddScaled(coeff, gw)
+		grad.AddScaled(coeff, c.sigW[gi*d:(gi+1)*d])
 	}
 	return ic
 }
 
-// ascend runs projected gradient ascent from w0 and returns the best
-// direction and IC reached.
-func (o *objective) ascend(w0 mat.Vec, maxIter int, tol float64) (mat.Vec, float64) {
-	w := w0.Clone().Normalize()
-	ic := o.eval(w)
-	grad := make(mat.Vec, len(w))
+// ascend runs projected gradient ascent from w0, leaving the best
+// direction reached in c.w and returning its IC (evaluated directly at
+// the final point) plus whether the deadline cut the ascent short.
+//
+// The backtracking line search never touches a d-vector: along
+// w(t) = (w + t·g)/‖w + t·g‖ every quadratic form is
+//
+//	wᵀMw(t) = (wᵀMw + 2t·gᵀMw + t²·gᵀMg) / (1 + 2t·wᵀg + t²·gᵀg),
+//
+// so after one M·g product per matrix per iteration each trial costs
+// O(#distinct Σ) scalar flops; only an *accepted* step materializes the
+// new direction.
+func (c *evalCtx) ascend(w0 mat.Vec, maxIter int, tol float64, deadline time.Time) (ic float64, cut bool) {
+	o := c.o
+	d := len(c.w)
+	inv := 1 / o.total
+	copy(c.w, w0)
+	c.w.Normalize()
+	w := c.w
+	grad := c.grad
 	step := 0.1
+	checkDeadline := !deadline.IsZero()
 	for iter := 0; iter < maxIter; iter++ {
-		cur := o.evalGrad(w, grad)
-		// Riemannian gradient: project out the radial component.
-		grad.AddScaled(-w.Dot(grad), w)
-		gn := grad.Norm()
-		if gn < tol {
-			ic = cur
+		if checkDeadline && iter&15 == 0 && time.Now().After(deadline) {
+			cut = true
 			break
 		}
-		// Backtracking line search along the projected direction.
+		cur := c.evalGrad(w, grad)
+		// Riemannian gradient: project out the radial component.
+		grad.AddScaled(-w.Dot(grad), w)
+		g2 := grad.Dot(grad)
+		gn := math.Sqrt(g2)
+		if gn < tol {
+			break
+		}
+		// Line-search cross terms from one M·g product per matrix.
+		wg := w.Dot(grad) // ≈0 after projection; kept exact
+		sg := o.scatter.MulVecInto(c.sg, grad)
+		gSw := grad.Dot(c.sw)
+		gSg := grad.Dot(sg)
+		ghat := w.Dot(c.sw)
+		for gi := range o.sigmas {
+			gg := o.sigmas[gi].MulVecInto(c.sigG[gi*d:(gi+1)*d], grad)
+			c.qgw[gi] = grad.Dot(c.sigW[gi*d : (gi+1)*d])
+			c.qgg[gi] = grad.Dot(gg)
+		}
 		improved := false
 		for trial := 0; trial < 30; trial++ {
-			cand := w.Clone().AddScaled(step/gn, grad).Normalize()
-			icCand := o.eval(cand)
+			t := step / gn
+			den := 1 + 2*t*wg + t*t*g2
+			ghatT := (ghat + 2*t*gSw + t*t*gSg) / den
+			var a1, a2, a3 float64
+			for gi := range o.sigmas {
+				q := (c.qw[gi] + 2*t*c.qgw[gi] + t*t*c.qgg[gi]) / den
+				a := q * inv
+				cc := o.counts[gi]
+				a1 += cc * a
+				a2 += cc * a * a
+				a3 += cc * a * a * a
+			}
+			icCand := si.SpreadICFromMoments(si.MomentsFromSums(a1, a2, a3), ghatT)
 			if icCand > cur+1e-15 {
-				w, ic = cand, icCand
+				cand := c.cand
+				for i := range cand {
+					cand[i] = w[i] + t*grad[i]
+				}
+				cand.Normalize()
+				c.w, c.cand = cand, c.w
+				w = c.w
 				step = math.Min(step*1.5, 1.0)
 				improved = true
 				break
@@ -192,16 +335,20 @@ func (o *objective) ascend(w0 mat.Vec, maxIter int, tol float64) (mat.Vec, float
 			}
 		}
 		if !improved {
-			ic = cur
 			break
 		}
 	}
-	return w, ic
+	// Score the final direction through the direct evaluator: the
+	// parametric line-search value can differ from it in the last ulps,
+	// and the cross-start reduction compares ICs between workers.
+	return o.eval(w), cut
 }
 
 // seeds builds the deterministic start set: eigenvectors of S − Σ̄
 // (directions where the observed scatter deviates most from the expected
-// covariance, both high- and low-variance), plus random unit vectors.
+// covariance, both high- and low-variance), plus random unit vectors
+// drawn from randx so the set is stable wherever the other stochastic
+// components are.
 func (o *objective) seeds(p Params) []mat.Vec {
 	d := o.scatter.R
 	var out []mat.Vec
@@ -227,7 +374,7 @@ func (o *objective) seeds(p Params) []mat.Vec {
 			}
 		}
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := randx.New(p.Seed)
 	for r := 0; r < p.Restarts; r++ {
 		w := make(mat.Vec, d)
 		for i := range w {
@@ -244,6 +391,56 @@ func column(m *mat.Dense, j int) mat.Vec {
 		out[i] = m.At(i, j)
 	}
 	return out
+}
+
+// forEachStart runs fn(ctx, i) for every index in [0, n) across up to
+// `workers` goroutines, each with its own evalCtx scratch, pulling
+// indices off an atomic counter. Index 0 always runs; once deadline
+// (when non-zero) has passed, the remaining indices are skipped. The
+// returned slice reports which indices ran — per-index results are
+// deterministic regardless of which worker ran them, so callers reduce
+// over it in index order. Shared by the general-mode restart pool and
+// the pair-sparse pair scan: the budget and concurrency semantics live
+// in exactly one place.
+func (o *objective) forEachStart(n, workers int, deadline time.Time, fn func(ctx *evalCtx, i int)) []bool {
+	ran := make([]bool, n)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := o.newCtx()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if i > 0 && !deadline.IsZero() && time.Now().After(deadline) {
+					continue
+				}
+				fn(ctx, i)
+				ran[i] = true
+			}
+		}()
+	}
+	wg.Wait()
+	return ran
+}
+
+// lexLess compares vectors lexicographically — the deterministic
+// tiebreak of the cross-start reduction (applied to canonicalized
+// directions).
+func lexLess(a, b mat.Vec) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
 }
 
 // Optimize finds the direction w maximizing the spread-pattern SI for
@@ -273,94 +470,193 @@ func Optimize(m *background.Model, y *mat.Dense, ext *bitset.Set, center mat.Vec
 			SI: ic / sip.DL(numConds, true), Starts: 1}, nil
 	}
 
+	seeds := o.seeds(p)
+	type startResult struct {
+		w   mat.Vec
+		ic  float64
+		cut bool
+	}
+	results := make([]startResult, len(seeds))
+	ran := o.forEachStart(len(seeds), p.Parallelism, p.Deadline, func(ctx *evalCtx, i int) {
+		ic, cut := ctx.ascend(seeds[i], p.MaxIter, p.Tol, p.Deadline)
+		results[i] = startResult{
+			w:   append(mat.Vec(nil), ctx.w...),
+			ic:  ic,
+			cut: cut,
+		}
+	})
+
+	// Deterministic reduction: IC descending, canonical-w ascending on
+	// ties — independent of which worker ran which start.
 	var best mat.Vec
 	bestIC := math.Inf(-1)
 	starts := 0
-	for _, w0 := range o.seeds(p) {
-		w, ic := o.ascend(w0, p.MaxIter, p.Tol)
+	timedOut := false
+	for i := range results {
+		r := &results[i]
+		if !ran[i] {
+			timedOut = true
+			continue
+		}
 		starts++
-		if ic > bestIC {
-			bestIC, best = ic, w
+		if r.cut {
+			timedOut = true
+		}
+		canonicalize(r.w)
+		if r.ic > bestIC || (r.ic == bestIC && best != nil && lexLess(r.w, best)) {
+			bestIC, best = r.ic, r.w
 		}
 	}
 	if best == nil {
 		return nil, ErrNoDirection
 	}
-	canonicalize(best)
 	_, ghat := o.moments(best)
 	return &Result{
 		W: best, Variance: ghat, IC: bestIC,
-		SI:     bestIC / sip.DL(numConds, true),
-		Starts: starts,
+		SI:       bestIC / sip.DL(numConds, true),
+		Starts:   starts,
+		TimedOut: timedOut,
 	}, nil
+}
+
+// loadPair projects the scatter and every distinct Σ onto the (i,j)
+// coordinate plane, after which evalPairTheta needs only scalars.
+func (c *evalCtx) loadPair(i, j int) (sII, sIJ, sJI, sJJ float64) {
+	o := c.o
+	for gi, sigma := range o.sigmas {
+		c.pII[gi] = sigma.At(i, i)
+		c.pIJ[gi] = sigma.At(i, j)
+		c.pJI[gi] = sigma.At(j, i)
+		c.pJJ[gi] = sigma.At(j, j)
+	}
+	s := o.scatter
+	return s.At(i, i), s.At(i, j), s.At(j, i), s.At(j, j)
+}
+
+// evalPairTheta evaluates the spread IC of w = cosθ·eᵢ + sinθ·eⱼ from
+// the loaded 2×2 projections. Every quadratic form collapses to
+// c·(Mᵢᵢc + Mᵢⱼs) + s·(Mⱼᵢc + Mⱼⱼs) — the exact float program a dense
+// QuadForm runs on the sparse w (the zero entries only ever add +0.0),
+// so the closed form is bit-compatible with the dense objective.
+func (c *evalCtx) evalPairTheta(theta, sII, sIJ, sJI, sJJ float64) float64 {
+	o := c.o
+	ct := math.Cos(theta)
+	st := math.Sin(theta)
+	inv := 1 / o.total
+	var a1, a2, a3 float64
+	for gi := range o.sigmas {
+		q := ct*(c.pII[gi]*ct+c.pIJ[gi]*st) + st*(c.pJI[gi]*ct+c.pJJ[gi]*st)
+		a := q * inv
+		cc := o.counts[gi]
+		a1 += cc * a
+		a2 += cc * a * a
+		a3 += cc * a * a * a
+	}
+	ghat := ct*(sII*ct+sIJ*st) + st*(sJI*ct+sJJ*st)
+	return si.SpreadICFromMoments(si.MomentsFromSums(a1, a2, a3), ghat)
+}
+
+// bestPairTheta optimizes θ for the pair (i, j): a coarse grid over
+// [0, π) (w and −w are equivalent) followed by golden-section
+// refinement that carries the two interior evaluations across
+// iterations — one fresh evaluation per shrink instead of two.
+func (c *evalCtx) bestPairTheta(i, j int) (theta, ic float64) {
+	sII, sIJ, sJI, sJJ := c.loadPair(i, j)
+	const grid = 96
+	bestTheta, bestVal := 0.0, math.Inf(-1)
+	for g := 0; g < grid; g++ {
+		th := math.Pi * float64(g) / grid
+		if v := c.evalPairTheta(th, sII, sIJ, sJI, sJJ); v > bestVal {
+			bestVal, bestTheta = v, th
+		}
+	}
+	lo := bestTheta - math.Pi/grid
+	hi := bestTheta + math.Pi/grid
+	const phi = 0.6180339887498949
+	m1 := hi - phi*(hi-lo)
+	m2 := lo + phi*(hi-lo)
+	f1 := c.evalPairTheta(m1, sII, sIJ, sJI, sJJ)
+	f2 := c.evalPairTheta(m2, sII, sIJ, sJI, sJJ)
+	for iter := 0; iter < 60; iter++ {
+		if f1 > f2 {
+			hi, m2, f2 = m2, m1, f1
+			m1 = hi - phi*(hi-lo)
+			f1 = c.evalPairTheta(m1, sII, sIJ, sJI, sJJ)
+		} else {
+			lo, m1, f1 = m1, m2, f2
+			m2 = lo + phi*(hi-lo)
+			f2 = c.evalPairTheta(m2, sII, sIJ, sJI, sJJ)
+		}
+	}
+	th := (lo + hi) / 2
+	if v := c.evalPairTheta(th, sII, sIJ, sJI, sJJ); v > bestVal {
+		bestVal, bestTheta = v, th
+	}
+	return bestTheta, bestVal
+}
+
+// pairAt maps a flat pair index to the (i, j) attribute pair, i < j,
+// enumerated row-major — the same order the former nested loops used.
+func pairAt(pi, d int) (int, int) {
+	for i := 0; i < d-1; i++ {
+		row := d - 1 - i
+		if pi < row {
+			return i, i + 1 + pi
+		}
+		pi -= row
+	}
+	panic("spreadopt: pair index out of range")
 }
 
 // optimizePairs implements the 2-sparsity constraint of §III-C: for
 // every pair of target attributes, w = cosθ·e_i + sinθ·e_j is optimized
-// over θ by a dense grid with golden-section refinement, and the best
-// pair wins.
+// over θ via the closed-form 2×2 projections, and the best pair wins.
+// Pairs are scanned by the worker pool; the reduction (IC descending,
+// first pair in enumeration order on ties) is byte-identical at any
+// worker count.
 func optimizePairs(o *objective, d, numConds int, sip si.Params, p Params) (*Result, error) {
 	if d < 2 {
 		return nil, fmt.Errorf("spreadopt: pair-sparse mode needs at least 2 targets")
 	}
-	var best mat.Vec
-	bestIC := math.Inf(-1)
+	numPairs := d * (d - 1) / 2
+	type pairResult struct {
+		theta float64
+		ic    float64
+	}
+	results := make([]pairResult, numPairs)
+	ran := o.forEachStart(numPairs, p.Parallelism, p.Deadline, func(ctx *evalCtx, pi int) {
+		i, j := pairAt(pi, d)
+		theta, ic := ctx.bestPairTheta(i, j)
+		results[pi] = pairResult{theta: theta, ic: ic}
+	})
+
+	bestPair, bestIC := -1, math.Inf(-1)
 	starts := 0
-	w := make(mat.Vec, d)
-	evalTheta := func(i, j int, theta float64) float64 {
-		for k := range w {
-			w[k] = 0
+	timedOut := false
+	for pi := range results {
+		if !ran[pi] {
+			timedOut = true
+			continue
 		}
-		w[i] = math.Cos(theta)
-		w[j] = math.Sin(theta)
-		return o.eval(w)
-	}
-	for i := 0; i < d-1; i++ {
-		for j := i + 1; j < d; j++ {
-			starts++
-			// Coarse grid over [0, π): w and −w are equivalent.
-			const grid = 96
-			bestTheta, bestVal := 0.0, math.Inf(-1)
-			for g := 0; g < grid; g++ {
-				theta := math.Pi * float64(g) / grid
-				if v := evalTheta(i, j, theta); v > bestVal {
-					bestVal, bestTheta = v, theta
-				}
-			}
-			// Golden-section refinement around the best grid cell.
-			lo := bestTheta - math.Pi/grid
-			hi := bestTheta + math.Pi/grid
-			const phi = 0.6180339887498949
-			for iter := 0; iter < 60; iter++ {
-				m1 := hi - phi*(hi-lo)
-				m2 := lo + phi*(hi-lo)
-				if evalTheta(i, j, m1) > evalTheta(i, j, m2) {
-					hi = m2
-				} else {
-					lo = m1
-				}
-			}
-			theta := (lo + hi) / 2
-			if v := evalTheta(i, j, theta); v > bestVal {
-				bestVal, bestTheta = v, theta
-			}
-			if bestVal > bestIC {
-				bestIC = bestVal
-				best = make(mat.Vec, d)
-				best[i] = math.Cos(bestTheta)
-				best[j] = math.Sin(bestTheta)
-			}
+		starts++
+		if results[pi].ic > bestIC {
+			bestIC, bestPair = results[pi].ic, pi
 		}
 	}
-	if best == nil {
+	if bestPair < 0 {
 		return nil, ErrNoDirection
 	}
+	i, j := pairAt(bestPair, d)
+	best := make(mat.Vec, d)
+	best[i] = math.Cos(results[bestPair].theta)
+	best[j] = math.Sin(results[bestPair].theta)
 	canonicalize(best)
 	_, ghat := o.moments(best)
 	return &Result{
 		W: best, Variance: ghat, IC: bestIC,
-		SI:     bestIC / sip.DL(numConds, true),
-		Starts: starts,
+		SI:       bestIC / sip.DL(numConds, true),
+		Starts:   starts,
+		TimedOut: timedOut,
 	}, nil
 }
 

@@ -94,6 +94,7 @@ func TestGradientMatchesFiniteDifference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := o.newCtx()
 	grad := make(mat.Vec, 5)
 	for trial := 0; trial < 20; trial++ {
 		w := make(mat.Vec, 5)
@@ -101,7 +102,7 @@ func TestGradientMatchesFiniteDifference(t *testing.T) {
 			w[i] = rng.NormFloat64()
 		}
 		w.Normalize()
-		ic := o.evalGrad(w, grad)
+		ic := ctx.evalGrad(w, grad)
 		const h = 1e-6
 		for j := range w {
 			wp := w.Clone()

@@ -78,7 +78,9 @@ func MeanVec(y *mat.Dense, idx []int) mat.Vec {
 
 // CovMat returns the population (divide-by-n) covariance matrix of the
 // rows with indices idx in y, around their own mean. If idx is nil, all
-// rows are used.
+// rows are used. Only the upper triangle is accumulated (the lower is a
+// mirror: the (a,b) and (b,a) products are the same multiplications in
+// the same order, so nothing is lost), halving the dominant d²·n work.
 func CovMat(y *mat.Dense, idx []int) *mat.Dense {
 	d := y.C
 	mu := MeanVec(y, idx)
@@ -90,7 +92,7 @@ func CovMat(y *mat.Dense, idx []int) *mat.Dense {
 				continue
 			}
 			cr := cov.Data[a*d : (a+1)*d]
-			for b := 0; b < d; b++ {
+			for b := a; b < d; b++ {
 				cr[b] += da * (row[b] - mu[b])
 			}
 		}
@@ -110,8 +112,12 @@ func CovMat(y *mat.Dense, idx []int) *mat.Dense {
 	if n == 0 {
 		return cov
 	}
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			cov.Data[b*d+a] = cov.Data[a*d+b]
+		}
+	}
 	cov.Scale(1 / float64(n))
-	cov.Symmetrize()
 	return cov
 }
 
