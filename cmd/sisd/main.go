@@ -46,6 +46,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "search time budget per iteration (0 = none)")
 		explain  = flag.Int("explain", 5, "print the k most surprising target attributes per pattern (0 = off)")
 		optimal  = flag.Bool("optimal", false, "single-target datasets only: find the globally optimal first pattern by branch-and-bound instead of beam search")
+		verbose  = flag.Bool("v", false, "print per-iteration search diagnostics (SI-bound pruning counters; counts vary with scheduling)")
 	)
 	flag.Parse()
 
@@ -103,6 +104,11 @@ func main() {
 			log.Fatalf("iteration %d: %v", it, err)
 		}
 		fmt.Printf("\n=== iteration %d (evaluated %d candidates", it, logRes.Evaluated)
+		// Pruning counts depend on worker scheduling, so they stay out of
+		// the default output, which is byte-identical at any -parallel.
+		if *verbose && logRes.Pruned > 0 {
+			fmt.Printf(", %d pruned by SI bounds", logRes.Pruned)
+		}
 		if logRes.TimedOut {
 			fmt.Printf(", timed out")
 		}

@@ -114,15 +114,88 @@ func AndInto(dst, s, t *Set) {
 // a single pass over the words. Same capacity and aliasing rules as
 // AndInto. This is the inner kernel of the candidate-evaluation engine:
 // the intersection and the support test of a candidate subgroup cost
-// one traversal and zero allocations.
+// one traversal and zero allocations. The word loop is unrolled four
+// wide so the AND/store/popcount streams pipeline instead of serializing
+// on one count accumulator per word.
 func AndCountInto(dst, s, t *Set) int {
 	if dst.n != s.n || s.n != t.n {
 		panic("bitset: capacity mismatch")
 	}
+	dw := dst.words
+	sw := s.words[:len(dw)]
+	tw := t.words[:len(dw)]
 	c := 0
-	for i := range dst.words {
-		w := s.words[i] & t.words[i]
-		dst.words[i] = w
+	i := 0
+	for ; i+4 <= len(dw); i += 4 {
+		w0 := sw[i] & tw[i]
+		w1 := sw[i+1] & tw[i+1]
+		w2 := sw[i+2] & tw[i+2]
+		w3 := sw[i+3] & tw[i+3]
+		dw[i], dw[i+1], dw[i+2], dw[i+3] = w0, w1, w2, w3
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(dw); i++ {
+		w := sw[i] & tw[i]
+		dw[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// OrCountInto sets dst = s ∪ t and returns the number of set bits —
+// the union analogue of AndCountInto, same capacity and aliasing rules,
+// same four-wide word batching.
+func OrCountInto(dst, s, t *Set) int {
+	if dst.n != s.n || s.n != t.n {
+		panic("bitset: capacity mismatch")
+	}
+	dw := dst.words
+	sw := s.words[:len(dw)]
+	tw := t.words[:len(dw)]
+	c := 0
+	i := 0
+	for ; i+4 <= len(dw); i += 4 {
+		w0 := sw[i] | tw[i]
+		w1 := sw[i+1] | tw[i+1]
+		w2 := sw[i+2] | tw[i+2]
+		w3 := sw[i+3] | tw[i+3]
+		dw[i], dw[i+1], dw[i+2], dw[i+3] = w0, w1, w2, w3
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(dw); i++ {
+		w := sw[i] | tw[i]
+		dw[i] = w
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndNotCountInto sets dst = s \ t and returns the number of set bits —
+// the difference analogue of AndCountInto, same capacity and aliasing
+// rules, same four-wide word batching.
+func AndNotCountInto(dst, s, t *Set) int {
+	if dst.n != s.n || s.n != t.n {
+		panic("bitset: capacity mismatch")
+	}
+	dw := dst.words
+	sw := s.words[:len(dw)]
+	tw := t.words[:len(dw)]
+	c := 0
+	i := 0
+	for ; i+4 <= len(dw); i += 4 {
+		w0 := sw[i] &^ tw[i]
+		w1 := sw[i+1] &^ tw[i+1]
+		w2 := sw[i+2] &^ tw[i+2]
+		w3 := sw[i+3] &^ tw[i+3]
+		dw[i], dw[i+1], dw[i+2], dw[i+3] = w0, w1, w2, w3
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+	}
+	for ; i < len(dw); i++ {
+		w := sw[i] &^ tw[i]
+		dw[i] = w
 		c += bits.OnesCount64(w)
 	}
 	return c
@@ -159,14 +232,23 @@ func (s *Set) Or(t *Set) *Set {
 	return out
 }
 
-// IntersectCount returns |s ∩ t| without allocating.
+// IntersectCount returns |s ∩ t| without allocating. Word-batched four
+// wide like the CountInto kernels — the binary-target sufficient
+// statistics and the grouped scoring paths call this in tight loops.
 func (s *Set) IntersectCount(t *Set) int {
 	if s.n != t.n {
 		panic("bitset: capacity mismatch")
 	}
+	sw := s.words
+	tw := t.words[:len(sw)]
 	c := 0
-	for i, w := range s.words {
-		c += bits.OnesCount64(w & t.words[i])
+	i := 0
+	for ; i+4 <= len(sw); i += 4 {
+		c += bits.OnesCount64(sw[i]&tw[i]) + bits.OnesCount64(sw[i+1]&tw[i+1]) +
+			bits.OnesCount64(sw[i+2]&tw[i+2]) + bits.OnesCount64(sw[i+3]&tw[i+3])
+	}
+	for ; i < len(sw); i++ {
+		c += bits.OnesCount64(sw[i] & tw[i])
 	}
 	return c
 }

@@ -71,6 +71,78 @@ func TestAndCountIntoMatchesAndPlusCount(t *testing.T) {
 	}
 }
 
+// TestOrCountIntoMatchesOrPlusCount mirrors the AndCountInto property
+// test for the union kernel, including the aliasing cases and the
+// batched/remainder word-boundary shapes.
+func TestOrCountIntoMatchesOrPlusCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(600) // > 4 words exercises the unrolled batches
+		a := randomSet(rng, n, rng.Float64())
+		b := randomSet(rng, n, rng.Float64())
+		want := a.Or(b)
+		dst := randomSet(rng, n, 0.5)
+		got := OrCountInto(dst, a, b)
+		if !dst.Equal(want) {
+			t.Fatalf("n=%d: OrCountInto bits differ from Or", n)
+		}
+		if got != want.Count() {
+			t.Fatalf("n=%d: OrCountInto count %d, want %d", n, got, want.Count())
+		}
+		sa := a.Clone()
+		if OrCountInto(sa, sa, b); !sa.Equal(want) {
+			t.Fatalf("n=%d: OrCountInto with dst aliasing s differs", n)
+		}
+		tb := b.Clone()
+		if OrCountInto(tb, a, tb); !tb.Equal(want) {
+			t.Fatalf("n=%d: OrCountInto with dst aliasing t differs", n)
+		}
+	}
+}
+
+// TestAndNotCountIntoMatchesAndNotPlusCount mirrors the AndCountInto
+// property test for the difference kernel.
+func TestAndNotCountIntoMatchesAndNotPlusCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(600)
+		a := randomSet(rng, n, rng.Float64())
+		b := randomSet(rng, n, rng.Float64())
+		want := a.AndNot(b)
+		dst := randomSet(rng, n, 0.5)
+		got := AndNotCountInto(dst, a, b)
+		if !dst.Equal(want) {
+			t.Fatalf("n=%d: AndNotCountInto bits differ from AndNot", n)
+		}
+		if got != want.Count() {
+			t.Fatalf("n=%d: AndNotCountInto count %d, want %d", n, got, want.Count())
+		}
+		sa := a.Clone()
+		if AndNotCountInto(sa, sa, b); !sa.Equal(want) {
+			t.Fatalf("n=%d: AndNotCountInto with dst aliasing s differs", n)
+		}
+		tb := b.Clone()
+		if AndNotCountInto(tb, a, tb); !tb.Equal(want) {
+			t.Fatalf("n=%d: AndNotCountInto with dst aliasing t differs", n)
+		}
+	}
+}
+
+func TestCountIntoCapacityMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(dst, s, t *Set) int{
+		"AndCountInto": AndCountInto, "OrCountInto": OrCountInto, "AndNotCountInto": AndNotCountInto,
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: capacity mismatch must panic", name)
+				}
+			}()
+			fn(New(10), New(10), New(11))
+		}()
+	}
+}
+
 func TestIterateIntoMatchesIndices(t *testing.T) {
 	rng := rand.New(rand.NewSource(44))
 	buf := make([]int, 0, 64) // reused across trials, like the engine does

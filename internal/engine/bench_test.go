@@ -16,7 +16,7 @@ import (
 // SI scorer whose model carries `commits` committed location patterns —
 // the many-groups regime that used to scale per-candidate cost with the
 // group count.
-func benchEvaluator(b *testing.B, commits int) (*engine.Evaluator, []engine.Candidate) {
+func benchEvaluator(b *testing.B, commits int) (*engine.Evaluator, *engine.Batch) {
 	b.Helper()
 	ds := gen.Synthetic620(gen.SeedSynthetic).DS
 	m, err := background.New(ds.N(), make(mat.Vec, ds.Dy()), mat.Eye(ds.Dy()))
@@ -46,8 +46,10 @@ func benchEvaluator(b *testing.B, commits int) (*engine.Evaluator, []engine.Cand
 	// A representative level-2 batch: every condition refining every
 	// condition extension (capped), plus the level-1 nil-parent batch is
 	// benchmarked separately.
-	var cands []engine.Candidate
+	batch := &engine.Batch{}
+	batch.Reset(2)
 	for p := 0; p < len(lang.Conds) && p < 20; p++ {
+		batch.StartParent(lang.Exts[p])
 		for c := range lang.Conds {
 			if c == p {
 				continue
@@ -56,14 +58,10 @@ func benchEvaluator(b *testing.B, commits int) (*engine.Evaluator, []engine.Cand
 			if hi < lo {
 				lo, hi = hi, lo
 			}
-			cands = append(cands, engine.Candidate{
-				Parent: lang.Exts[p],
-				Cond:   engine.CondID(c),
-				Ids:    []engine.CondID{lo, hi},
-			})
+			batch.Add(engine.CondID(c), []engine.CondID{lo, hi})
 		}
 	}
-	return ev, cands
+	return ev, batch
 }
 
 // BenchmarkEvaluateBatchDepth1ManyGroups measures a full level-1 batch
@@ -72,14 +70,16 @@ func benchEvaluator(b *testing.B, commits int) (*engine.Evaluator, []engine.Cand
 func BenchmarkEvaluateBatchDepth1ManyGroups(b *testing.B) {
 	ev, _ := benchEvaluator(b, 32)
 	lang := engine.LanguageFor(gen.Synthetic620(gen.SeedSynthetic).DS, 4)
-	cands := make([]engine.Candidate, len(lang.Conds))
+	batch := &engine.Batch{}
+	batch.Reset(1)
+	batch.StartParent(nil)
 	for i := range lang.Conds {
-		cands[i] = engine.Candidate{Cond: engine.CondID(i), Ids: []engine.CondID{engine.CondID(i)}}
+		batch.Add(engine.CondID(i), []engine.CondID{engine.CondID(i)})
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, timedOut := ev.EvaluateBatch(cands); timedOut {
+		if _, timedOut := ev.EvaluateBatch(batch); timedOut {
 			b.Fatal("unexpected timeout")
 		}
 	}
@@ -89,11 +89,11 @@ func BenchmarkEvaluateBatchDepth1ManyGroups(b *testing.B) {
 // batch against a 32-commit model: one fused AndCountInto + label-pass
 // scoring per candidate, independent of the group count.
 func BenchmarkEvaluateBatchDeepManyGroups(b *testing.B) {
-	ev, cands := benchEvaluator(b, 32)
+	ev, batch := benchEvaluator(b, 32)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, timedOut := ev.EvaluateBatch(cands); timedOut {
+		if _, timedOut := ev.EvaluateBatch(batch); timedOut {
 			b.Fatal("unexpected timeout")
 		}
 	}

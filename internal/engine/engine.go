@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"math"
 	"math/bits"
 	"runtime"
 	"sort"
@@ -69,6 +70,29 @@ type GroupLabeler interface {
 	Labels() []int32
 }
 
+// BoundScorer is a Scorer that can also produce admissible SI upper
+// bounds for candidate refinements, enabling the evaluator to skip the
+// full scoring pass for candidates that provably cannot enter the
+// consumed result prefix. NewBoundWorker returns nil when no bound is
+// available for the current model/dataset shape (bounds are an
+// optimization, never a requirement).
+type BoundScorer interface {
+	NewBoundWorker() BoundWorker
+}
+
+// BoundWorker is a single-goroutine bounding context. Prepare readies
+// the worker for candidates refining one parent extension (amortized
+// over the parent's whole run of candidates); BoundSI then returns, in
+// O(1), an upper bound on the SI of ANY subset of the prepared parent
+// with exactly the given size, described by numConds conditions. The
+// bound must be admissible up to float rounding — the evaluator inflates
+// it by a relative epsilon before comparing, and the search layer's
+// property tests verify that no true SI ever exceeds the inflated bound.
+type BoundWorker interface {
+	Prepare(parent *bitset.Set) bool
+	BoundSI(size, numConds int) float64
+}
+
 // Options configure an Evaluator.
 type Options struct {
 	Parallelism int       // worker goroutines (default GOMAXPROCS)
@@ -82,7 +106,17 @@ type Options struct {
 	// tail of every level. The returned *set* of results is unchanged,
 	// so anything order-insensitive (the bounded top-k log) sees
 	// identical outcomes.
+	//
+	// SelectTop also arms bound pruning: with a BoundScorer, candidates
+	// whose admissible SI upper bound falls strictly below the running
+	// SelectTop-th best SI of the batch are dropped without scoring.
+	// Such candidates can neither enter the consumed prefix nor any
+	// bounded top-k log fed from it, so results are bit-identical to the
+	// unpruned evaluation at every parallelism level.
 	SelectTop int
+	// DisableBounds turns bound pruning off even when the scorer
+	// provides bounds — the ablation/debugging switch.
+	DisableBounds bool
 }
 
 func (o Options) withDefaults() Options {
@@ -95,25 +129,83 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Candidate is one unscored subgroup refinement: the parent's extension
-// and the condition to intersect it with. Ids is the candidate's full
-// canonical intention (ascending CondIDs, including Cond). A nil Parent
-// means the full dataset — the level-1 form that lets the evaluator
-// skip the intersection entirely (the extension IS the condition's) and
-// score from the precomputed depth-1 table when the scorer supports it.
-type Candidate struct {
-	Parent *bitset.Set
-	Cond   CondID
-	Ids    []CondID
+// Batch is the columnar candidate arena for one search level: instead
+// of a slice of per-candidate structs (parent pointer + condition +
+// intention slice header each), a level is four flat streams — the
+// distinct parent extensions in first-use order, a per-candidate parent
+// index, a per-candidate condition, and one contiguous CondID arena
+// holding every candidate's canonical intention at a fixed stride (all
+// candidates of a level share one depth). The evaluation loop sweeps
+// the streams in order, and a caller reuses one Batch across levels
+// (Reset keeps the backing arrays), so steady-state level construction
+// allocates nothing.
+//
+// Candidates sharing a parent must be appended contiguously (StartParent
+// once, then Add per refinement) — the evaluator amortizes per-parent
+// bound preparation over exactly these runs.
+type Batch struct {
+	depth    int
+	parents  []*bitset.Set // distinct parents; nil means the full dataset
+	parentOf []int32       // per candidate: index into parents
+	conds    []CondID      // per candidate: the refining condition
+	ids      []CondID      // intention arena, stride = depth
+}
+
+// Reset clears the batch for a new level whose candidates all have
+// depth conditions, keeping the backing arrays.
+func (b *Batch) Reset(depth int) {
+	if depth <= 0 {
+		panic("engine: Batch depth must be positive")
+	}
+	b.depth = depth
+	b.parents = b.parents[:0]
+	b.parentOf = b.parentOf[:0]
+	b.conds = b.conds[:0]
+	b.ids = b.ids[:0]
+}
+
+// StartParent begins a run of candidates refining ext. A nil ext means
+// the full dataset — the level-1 form that lets the evaluator skip the
+// intersection entirely (the extension IS the condition's) and score
+// from the precomputed depth-1 table when the scorer supports it.
+func (b *Batch) StartParent(ext *bitset.Set) {
+	b.parents = append(b.parents, ext)
+}
+
+// Add appends one candidate refining the current parent with cond. ids
+// is the candidate's full canonical intention (ascending CondIDs,
+// including cond, length = the Reset depth); it is copied into the
+// batch arena, so callers may pass scratch.
+func (b *Batch) Add(cond CondID, ids []CondID) {
+	if len(b.parents) == 0 {
+		panic("engine: Batch.Add before StartParent")
+	}
+	if len(ids) != b.depth {
+		panic("engine: Batch.Add intention length != depth")
+	}
+	b.parentOf = append(b.parentOf, int32(len(b.parents)-1))
+	b.conds = append(b.conds, cond)
+	b.ids = append(b.ids, ids...)
+}
+
+// Len returns the number of candidates in the batch.
+func (b *Batch) Len() int { return len(b.conds) }
+
+// IDs returns candidate i's canonical intention, aliasing the batch
+// arena (valid until the next Reset).
+func (b *Batch) IDs(i int) []CondID {
+	d := b.depth
+	return b.ids[i*d : (i+1)*d : (i+1)*d]
 }
 
 // Scored is one accepted (supported, scoreable) candidate. EvaluateBatch
-// returns it *unmaterialized* — Ext and Mean are nil; Cand indexes the
-// candidate within its batch — so that candidates which never survive
-// beam/log selection cost no allocations. Callers pass the survivors to
-// Evaluator.Materialize, which fills Ext (an independent copy, safe to
-// keep as a beam parent or result) and Mean with values bit-identical
-// to the ones scored.
+// returns it *unmaterialized* — Ext and Mean are nil, Ids aliases the
+// batch arena, and Cand indexes the candidate within its batch — so that
+// candidates which never survive beam/log selection cost no allocations.
+// Callers pass the survivors to Evaluator.Materialize, which fills Ext
+// (an independent copy, safe to keep as a beam parent or result), Mean
+// with values bit-identical to the ones scored, and replaces Ids with an
+// owned copy that outlives the batch's next Reset.
 type Scored struct {
 	Ids    []CondID
 	Cand   int
@@ -165,7 +257,98 @@ type Evaluator struct {
 	// level-1 candidates be scored with no bitset pass at all. Non-nil
 	// only when the scorer exposes its group labeling.
 	d1 *depthOneTable
+
+	// bounds[i] is goroutine i's bound worker when sc is a BoundScorer
+	// that offers bounds for this model; nil slice → no pruning.
+	bounds []BoundWorker
+	// floorKey is the shared SI floor for the current batch, encoded as
+	// a monotone order key so a CAS-max works on the raw bits. Workers
+	// publish their local SelectTop-th best SI here; candidates whose
+	// inflated bound falls strictly below the floor are pruned.
+	floorKey atomic.Uint64
+	// floorHeaps[i] is goroutine i's reusable top-SelectTop SI min-heap.
+	floorHeaps [][]float64
+	// seedSI, when armed via SeedFloor, initializes the next batch's
+	// floor instead of -Inf.
+	seedSI  float64
+	seedSet bool
+	// out/valid are the reusable batch result buffers; ctrs is the
+	// reusable per-worker counter scratch (3 slots per worker:
+	// scored, bound evals, pruned).
+	out   []Scored
+	valid []bool
+	ctrs  []int64
+
+	stats EvalStats
 }
+
+// EvalStats are cumulative pruning observability counters. The counts
+// depend on scheduling (which worker raises the shared floor first), so
+// they vary run to run and across parallelism levels — they are
+// diagnostics only and MUST NOT feed any result or decision that is
+// expected to be deterministic.
+type EvalStats struct {
+	Scored     int64 // candidates fully scored
+	BoundEvals int64 // candidates whose upper bound was evaluated
+	Pruned     int64 // candidates skipped because bound < floor
+}
+
+// Stats returns the evaluator's cumulative counters.
+func (e *Evaluator) Stats() EvalStats { return e.stats }
+
+// SeedFloor arms the next EvaluateBatch with an initial SI floor. Only
+// admissible when candidates below the floor are provably irrelevant to
+// every consumer of that batch — the beam search uses it at the final
+// level, seeding with its full top-k log's current k-th best SI (the
+// level's results only feed the log there, and the log's floor never
+// decreases).
+func (e *Evaluator) SeedFloor(si float64) {
+	e.seedSI = si
+	e.seedSet = true
+}
+
+// orderKey maps a non-NaN float64 to a uint64 with the same total
+// order, so an atomic CAS-max on the keys is a lock-free running max of
+// the floats.
+func orderKey(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// keyFloat inverts orderKey.
+func keyFloat(k uint64) float64 {
+	if k&(1<<63) != 0 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
+}
+
+// raiseFloor lifts the shared floor to at least f.
+func (e *Evaluator) raiseFloor(f float64) {
+	k := orderKey(f)
+	for {
+		old := e.floorKey.Load()
+		if old >= k || e.floorKey.CompareAndSwap(old, k) {
+			return
+		}
+	}
+}
+
+// boundSlack is the relative inflation applied to SI upper bounds
+// before comparing against the floor: the bound arithmetic (prefix
+// sums, a different algebraic arrangement of the same IC) rounds
+// differently from the scoring path by a few ulps, and the inflation
+// keeps the comparison admissible despite that.
+const boundSlack = 1e-9
+
+// minBoundRun is the smallest per-worker run of same-parent candidates
+// for which preparing a bound (a sort of the parent's residuals) is
+// worth the setup; below it the evaluator scores the run unbounded.
+// Affects only speed, never results.
+const minBoundRun = 64
 
 type depthOneTable struct {
 	counts [][]int32 // per condition, per group: |ext(c) ∩ group|
@@ -201,6 +384,21 @@ func NewEvaluator(lang *Language, sc Scorer, opt Options) *Evaluator {
 			e.statWorkers = nil
 		}
 	}
+	if bs, ok := sc.(BoundScorer); ok && !opt.DisableBounds && opt.SelectTop > 0 {
+		if w0 := bs.NewBoundWorker(); w0 != nil {
+			e.bounds = make([]BoundWorker, opt.Parallelism)
+			e.bounds[0] = w0
+			for i := 1; i < opt.Parallelism; i++ {
+				e.bounds[i] = bs.NewBoundWorker()
+			}
+			e.floorHeaps = make([][]float64, opt.Parallelism)
+			heapBuf := make([]float64, opt.Parallelism*opt.SelectTop)
+			for i := range e.floorHeaps {
+				e.floorHeaps[i] = heapBuf[i*opt.SelectTop : i*opt.SelectTop : (i+1)*opt.SelectTop]
+			}
+		}
+	}
+	e.ctrs = make([]int64, 3*opt.Parallelism)
 	return e
 }
 
@@ -244,34 +442,96 @@ func buildDepthOne(lang *Language, gl GroupLabeler) *depthOneTable {
 // deterministic regardless of scheduling). The results are
 // unmaterialized (nil Ext and Mean — see Scored); with a WorkerScorer
 // the entire batch costs no per-candidate allocations: level-1
-// candidates (nil Parent) are scored straight from the depth-1 table,
+// candidates (nil parent) are scored straight from the depth-1 table,
 // deeper ones through one fused AndCountInto + worker-scratch scoring
-// pass.
+// pass over the batch's columnar streams. The returned slice and the
+// Scored.Ids in it are evaluator/batch-owned scratch, valid until the
+// next EvaluateBatch/Reset — Materialize survivors before retaining.
+//
+// With bounds armed (BoundScorer + SelectTop, no DisableBounds), each
+// worker keeps a running min-heap of its SelectTop best SIs and
+// publishes the heap root to a shared atomic floor. Because a worker's
+// SelectTop-th best over a SUBSET of the batch can only underestimate
+// the batch-wide SelectTop-th best, the floor is always a valid lower
+// bound on the final prefix-entry SI; a candidate whose inflated upper
+// bound falls strictly below it can neither enter the SelectTop prefix
+// nor outrank prefix entries in any downstream bounded log, so skipping
+// its scoring pass leaves consumed results bit-identical at every
+// parallelism level. Which candidates get skipped DOES vary with
+// scheduling — only the Stats counters observe that.
 //
 // When the evaluator's Deadline expires mid-batch the whole batch is
 // abandoned and timedOut is true with a nil result: a partial level is
 // never returned, so completed results stay deterministic and a caller
 // treats an expired batch exactly like a deadline seen before it.
-func (e *Evaluator) EvaluateBatch(cands []Candidate) (kept []Scored, timedOut bool) {
-	out := make([]Scored, len(cands))
-	valid := make([]bool, len(cands))
+func (e *Evaluator) EvaluateBatch(b *Batch) (kept []Scored, timedOut bool) {
+	n := b.Len()
+	if cap(e.out) < n {
+		e.out = make([]Scored, n)
+		e.valid = make([]bool, n)
+	}
+	out := e.out[:n]
+	valid := e.valid[:n]
+	for i := range valid {
+		valid[i] = false
+	}
 	checkDeadline := !e.opt.Deadline.IsZero()
 	var expired atomic.Bool
 
+	// The batch floor starts at the armed seed (final-level log floor)
+	// or -Inf; it only ever rises within the batch.
+	seed := math.Inf(-1)
+	if e.seedSet {
+		seed = e.seedSI
+		e.seedSet = false
+	}
+	e.floorKey.Store(orderKey(seed))
+	pruning := e.bounds != nil
+	if pruning {
+		pruning = false
+		for _, p := range b.parents {
+			if p != nil {
+				pruning = true
+				break
+			}
+		}
+	}
+
+	nw := e.opt.Parallelism
+	if len(e.ctrs) < 3*nw {
+		e.ctrs = make([]int64, 3*nw)
+	}
+	ctrs := e.ctrs
+	for i := range ctrs {
+		ctrs[i] = 0
+	}
+
 	var wg sync.WaitGroup
-	chunk := (len(cands) + e.opt.Parallelism - 1) / e.opt.Parallelism
-	for w := 0; w < e.opt.Parallelism; w++ {
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
 		lo := w * chunk
-		if lo >= len(cands) {
+		if lo >= n {
 			break
 		}
 		hi := lo + chunk
-		if hi > len(cands) {
-			hi = len(cands)
+		if hi > n {
+			hi = n
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			depth := b.depth
+			minSupport := e.opt.MinSupport
+			selectTop := e.opt.SelectTop
+			var bw BoundWorker
+			var heap []float64
+			if pruning {
+				bw = e.bounds[w]
+				heap = e.floorHeaps[w][:0]
+			}
+			curPar := int32(-1)
+			boundReady := false
+			var nScored, nBound, nPruned int64
 			for i := lo; i < hi; i++ {
 				if checkDeadline && (i-lo)&63 == 0 {
 					if expired.Load() {
@@ -282,23 +542,102 @@ func (e *Evaluator) EvaluateBatch(cands []Candidate) (kept []Scored, timedOut bo
 						return
 					}
 				}
-				si, ic, size, ok := e.scoreCandidate(w, &cands[i])
+				pi := b.parentOf[i]
+				parent := b.parents[pi]
+				cond := b.conds[i]
+				var si, ic float64
+				var size int
+				var ok bool
+				if parent == nil && e.d1 != nil {
+					size = e.d1.sizes[cond]
+					if size < minSupport {
+						continue
+					}
+					si, ic, _, ok = e.statWorkers[w].ScoreStats(
+						e.d1.counts[cond], e.d1.sums[cond], size, depth)
+				} else {
+					pset := parent
+					if pset == nil {
+						pset = e.full
+					}
+					if bw != nil && pi != curPar {
+						curPar = pi
+						boundReady = false
+						if parent != nil {
+							// Prepare sorts the parent's residuals, so it only
+							// pays when enough candidates of this parent land in
+							// this worker's range to amortize the O(m log m):
+							// short runs are cheaper to just score.
+							runLen := 1
+							for j := i + 1; j < hi && b.parentOf[j] == pi; j++ {
+								runLen++
+							}
+							if runLen >= minBoundRun {
+								boundReady = bw.Prepare(parent)
+							}
+						}
+					}
+					scratch := e.scratch[w]
+					size = bitset.AndCountInto(scratch, pset, e.lang.Exts[cond])
+					if size < minSupport {
+						continue
+					}
+					if boundReady {
+						nBound++
+						ub := bw.BoundSI(size, depth)
+						ub += boundSlack * (math.Abs(ub) + 1)
+						if ub < keyFloat(e.floorKey.Load()) {
+							nPruned++
+							continue
+						}
+					}
+					if e.workers != nil {
+						si, ic, _, ok = e.workers[w].Score(scratch, depth)
+					} else {
+						si, ic, _, ok = e.sc.Score(scratch, depth)
+					}
+				}
 				if !ok {
 					continue
 				}
+				nScored++
 				out[i] = Scored{
-					Ids:  cands[i].Ids,
+					Ids:  b.IDs(i),
 					Cand: i,
 					Size: size,
 					SI:   si, IC: ic,
 				}
 				valid[i] = true
+				if heap != nil {
+					// Local top-SelectTop SI min-heap; once full, its root
+					// is this worker's floor contribution.
+					if len(heap) < selectTop {
+						heap = append(heap, si)
+						siftUpFloat(heap)
+						if len(heap) == selectTop {
+							e.raiseFloor(heap[0])
+						}
+					} else if si > heap[0] {
+						heap[0] = si
+						siftDownFloat(heap)
+						e.raiseFloor(heap[0])
+					}
+				}
 			}
+			if pruning {
+				e.floorHeaps[w] = heap[:0]
+			}
+			ctrs[3*w], ctrs[3*w+1], ctrs[3*w+2] = nScored, nBound, nPruned
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	if expired.Load() {
 		return nil, true
+	}
+	for w := 0; w < nw; w++ {
+		e.stats.Scored += ctrs[3*w]
+		e.stats.BoundEvals += ctrs[3*w+1]
+		e.stats.Pruned += ctrs[3*w+2]
 	}
 
 	kept = out[:0] // filter in place; out's backing array is ours
@@ -315,53 +654,60 @@ func (e *Evaluator) EvaluateBatch(cands []Candidate) (kept []Scored, timedOut bo
 	return kept, false
 }
 
-// scoreCandidate evaluates one candidate on evaluation goroutine w,
-// discarding the (scratch) mean — the batch path; Materialize re-derives
-// the mean only for retained candidates.
-func (e *Evaluator) scoreCandidate(w int, c *Candidate) (si, ic float64, size int, ok bool) {
-	if c.Parent == nil && e.d1 != nil {
-		size = e.d1.sizes[c.Cond]
-		if size < e.opt.MinSupport {
-			return 0, 0, 0, false
+// siftUpFloat restores the min-heap property after appending to h.
+func siftUpFloat(h []float64) {
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			return
 		}
-		si, ic, _, ok = e.statWorkers[w].ScoreStats(
-			e.d1.counts[c.Cond], e.d1.sums[c.Cond], size, len(c.Ids))
-		return si, ic, size, ok
+		h[i], h[p] = h[p], h[i]
+		i = p
 	}
-	parent := c.Parent
-	if parent == nil {
-		parent = e.full
+}
+
+// siftDownFloat restores the min-heap property after replacing h[0].
+func siftDownFloat(h []float64) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l] < h[min] {
+			min = l
+		}
+		if r < len(h) && h[r] < h[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
 	}
-	scratch := e.scratch[w]
-	size = bitset.AndCountInto(scratch, parent, e.lang.Exts[c.Cond])
-	if size < e.opt.MinSupport {
-		return 0, 0, 0, false
-	}
-	if e.workers != nil {
-		si, ic, _, ok = e.workers[w].Score(scratch, len(c.Ids))
-	} else {
-		si, ic, _, ok = e.sc.Score(scratch, len(c.Ids))
-	}
-	return si, ic, size, ok
 }
 
 // Materialize fills Ext and Mean for a scored candidate the caller is
-// about to retain (beam parent, top-k entry). The extension is
-// recomputed with the same intersection kernel and the mean re-derived
-// by the same scoring path, so materialized values are bit-identical to
-// the ones EvaluateBatch ranked on; only the handful of survivors per
-// level pay the two clones. cands must be the batch the Scored came
-// from. No-op when already materialized.
-func (e *Evaluator) Materialize(cands []Candidate, s *Scored) {
+// about to retain (beam parent, top-k entry), and replaces the
+// batch-arena Ids alias with an owned copy. The extension is recomputed
+// with the same intersection kernel and the mean re-derived by the same
+// scoring path, so materialized values are bit-identical to the ones
+// EvaluateBatch ranked on; only the handful of survivors per level pay
+// the clones. b must be the batch the Scored came from. No-op when
+// already materialized.
+func (e *Evaluator) Materialize(b *Batch, s *Scored) {
 	if s.Ext != nil {
 		return
 	}
-	c := &cands[s.Cand]
-	if c.Parent == nil {
-		s.Ext = e.lang.Exts[c.Cond].Clone()
+	s.Ids = append([]CondID(nil), s.Ids...)
+	parent := b.parents[b.parentOf[s.Cand]]
+	cond := b.conds[s.Cand]
+	numConds := b.depth
+	if parent == nil {
+		s.Ext = e.lang.Exts[cond].Clone()
 		if e.d1 != nil {
 			_, _, mean, ok := e.statWorkers[0].ScoreStats(
-				e.d1.counts[c.Cond], e.d1.sums[c.Cond], e.d1.sizes[c.Cond], len(c.Ids))
+				e.d1.counts[cond], e.d1.sums[cond], e.d1.sizes[cond], numConds)
 			if ok {
 				s.Mean = mean.Clone()
 			}
@@ -369,16 +715,16 @@ func (e *Evaluator) Materialize(cands []Candidate, s *Scored) {
 		}
 	} else {
 		ext := bitset.New(e.lang.DS.N())
-		bitset.AndCountInto(ext, c.Parent, e.lang.Exts[c.Cond])
+		bitset.AndCountInto(ext, parent, e.lang.Exts[cond])
 		s.Ext = ext
 	}
 	// Score the just-built extension directly — same bits as the batch
 	// pass, so the same floats come back.
 	if e.workers != nil {
-		if _, _, mean, ok := e.workers[0].Score(s.Ext, len(c.Ids)); ok {
+		if _, _, mean, ok := e.workers[0].Score(s.Ext, numConds); ok {
 			s.Mean = mean.Clone()
 		}
-	} else if _, _, mean, ok := e.sc.Score(s.Ext, len(c.Ids)); ok {
+	} else if _, _, mean, ok := e.sc.Score(s.Ext, numConds); ok {
 		s.Mean = mean
 	}
 }
@@ -539,6 +885,27 @@ func (d *Dedup) Insert(ids []CondID) ([]CondID, bool) {
 	return stored, true
 }
 
+// Seen records the canonical intention ids if it is new and reports
+// whether it had been recorded before. Unlike Insert it never hands out
+// a stored copy, so callers that keep intentions in their own arenas
+// (the columnar Batch) skip the per-intention dedup-side copy in packed
+// mode.
+func (d *Dedup) Seen(ids []CondID) bool {
+	if d.packed != nil && len(ids) <= 4 {
+		var key uint64
+		for _, id := range ids {
+			key = key<<16 | uint64(id+1)
+		}
+		if _, dup := d.packed[key]; dup {
+			return true
+		}
+		d.packed[key] = struct{}{}
+		return false
+	}
+	_, fresh := d.Insert(ids)
+	return !fresh
+}
+
 func equalIDs(a, b []CondID) bool {
 	if len(a) != len(b) {
 		return false
@@ -652,6 +1019,18 @@ func (t *TopK) siftDown(i int) {
 
 // Len returns the number of retained items.
 func (t *TopK) Len() int { return len(t.h) }
+
+// Floor returns the SI of the worst retained item and whether the log
+// is full. Only a full log's floor is a valid lower bound for pruning:
+// any candidate scoring strictly below it can never be accepted (Add
+// requires strictly better ordering to displace the root, so equal-SI
+// candidates are also rejected once the log is full).
+func (t *TopK) Floor() (si float64, full bool) {
+	if t.k <= 0 || len(t.h) < t.k {
+		return 0, false
+	}
+	return t.h[0].SI, true
+}
 
 // Sorted drains the log, best first. The TopK must not be used after.
 func (t *TopK) Sorted() []Scored {

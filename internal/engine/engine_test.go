@@ -74,13 +74,15 @@ func TestEvaluateBatchMatchesDirectScoring(t *testing.T) {
 	ds := testDS(60, 3)
 	lang := LanguageFor(ds, 4)
 	full := bitset.Full(ds.N())
-	cands := make([]Candidate, len(lang.Conds))
+	batch := &Batch{}
+	batch.Reset(1)
+	batch.StartParent(full)
 	for i := range lang.Conds {
-		cands[i] = Candidate{Parent: full, Cond: CondID(i), Ids: []CondID{CondID(i)}}
+		batch.Add(CondID(i), []CondID{CondID(i)})
 	}
 	for _, par := range []int{1, 3, 8} {
 		ev := NewEvaluator(lang, sizeScorer{}, Options{Parallelism: par, MinSupport: 2})
-		got, timedOut := ev.EvaluateBatch(cands)
+		got, timedOut := ev.EvaluateBatch(batch)
 		if timedOut {
 			t.Fatal("no deadline was set")
 		}
@@ -89,7 +91,7 @@ func TestEvaluateBatchMatchesDirectScoring(t *testing.T) {
 			if s.Ext != nil {
 				t.Fatalf("par=%d: batch results must be unmaterialized", par)
 			}
-			ev.Materialize(cands, s)
+			ev.Materialize(batch, s)
 			if s.Ext.Count() != s.Size {
 				t.Fatalf("par=%d: stored size %d != extension count %d", par, s.Size, s.Ext.Count())
 			}
@@ -119,17 +121,28 @@ func TestEvaluateBatchScratchIsolation(t *testing.T) {
 	ds := testDS(60, 4)
 	lang := LanguageFor(ds, 4)
 	full := bitset.Full(ds.N())
-	cands := []Candidate{{Parent: full, Cond: 0, Ids: []CondID{0}}}
+	batch := &Batch{}
+	batch.Reset(1)
+	batch.StartParent(full)
+	batch.Add(0, []CondID{0})
 	ev := NewEvaluator(lang, sizeScorer{}, Options{Parallelism: 1})
-	first, _ := ev.EvaluateBatch(cands)
+	first, _ := ev.EvaluateBatch(batch)
 	if len(first) != 1 {
 		t.Fatal("candidate rejected")
 	}
-	ev.Materialize(cands, &first[0])
-	snapshot := first[0].Ext.Clone()
-	ev.EvaluateBatch([]Candidate{{Parent: full, Cond: 1, Ids: []CondID{1}}})
-	if !first[0].Ext.Equal(snapshot) {
+	ev.Materialize(batch, &first[0])
+	ext, ids := first[0].Ext, first[0].Ids
+	snapshot := ext.Clone()
+	idsSnapshot := append([]CondID(nil), ids...)
+	batch.Reset(1)
+	batch.StartParent(full)
+	batch.Add(1, []CondID{1})
+	ev.EvaluateBatch(batch)
+	if !ext.Equal(snapshot) {
 		t.Fatal("earlier result mutated by later batch (scratch leaked)")
+	}
+	if !equalIDs(ids, idsSnapshot) {
+		t.Fatal("materialized Ids mutated by later batch (arena aliased)")
 	}
 }
 
@@ -137,15 +150,17 @@ func TestEvaluateBatchExpiredDeadlineAbandonsBatch(t *testing.T) {
 	ds := testDS(60, 10)
 	lang := LanguageFor(ds, 4)
 	full := bitset.Full(ds.N())
-	cands := make([]Candidate, len(lang.Conds))
+	batch := &Batch{}
+	batch.Reset(1)
+	batch.StartParent(full)
 	for i := range lang.Conds {
-		cands[i] = Candidate{Parent: full, Cond: CondID(i), Ids: []CondID{CondID(i)}}
+		batch.Add(CondID(i), []CondID{CondID(i)})
 	}
 	ev := NewEvaluator(lang, sizeScorer{}, Options{
 		Parallelism: 2,
 		Deadline:    time.Now().Add(-time.Second),
 	})
-	got, timedOut := ev.EvaluateBatch(cands)
+	got, timedOut := ev.EvaluateBatch(batch)
 	if !timedOut {
 		t.Fatal("expired deadline must mark the batch timed out")
 	}

@@ -146,6 +146,15 @@ func EvictLanguage(ds *dataset.Dataset) {
 // in increasing point order — the same order as the fused scoring
 // kernels and the former per-condition walk — so stat-scored and
 // extension-scored candidates produce bit-identical floats.
+//
+// Binary targets (every yᵢⱼ ∈ {0,1}, e.g. species presence/absence)
+// take a separate kernel: a sum of k ones is exactly float64(k)
+// whatever order the additions happen in (k ≪ 2⁵³, and adding 0.0 to a
+// non-negative partial sum is an exact no-op), so Σ_{i∈ext(c)} y_ij
+// degenerates to the integer |ext(c) ∩ ones(j)|. Each target column
+// becomes a bitset once, and every sum entry is one AND-popcount sweep
+// — word-batched work instead of |ext|·d float adds, with bit-identical
+// results by exactness rather than by order preservation.
 func (l *Language) CondTargetStats() (sums []mat.Vec, sizes []int) {
 	l.statsOnce.Do(func() {
 		y := l.DS.Y
@@ -155,6 +164,29 @@ func (l *Language) CondTargetStats() (sums []mat.Vec, sizes []int) {
 		l.condSums = make([]mat.Vec, nc)
 		l.condSizes = make([]int, nc)
 		buf := make(mat.Vec, d*nc)
+		if binaryTargets(y) {
+			cols := make([]*bitset.Set, d)
+			for j := range cols {
+				cols[j] = bitset.New(n)
+			}
+			for i := 0; i < n; i++ {
+				row := y.Data[i*d : (i+1)*d]
+				for j, v := range row {
+					if v == 1 {
+						cols[j].Add(i)
+					}
+				}
+			}
+			for ci, ext := range l.Exts {
+				sum := buf[ci*d : (ci+1)*d : (ci+1)*d]
+				for j, col := range cols {
+					sum[j] = float64(ext.IntersectCount(col))
+				}
+				l.condSums[ci] = sum
+				l.condSizes[ci] = ext.Count()
+			}
+			return
+		}
 		if d < 8 {
 			// Narrow targets: each membership contributes only a few
 			// adds, so the inverted index costs more than the re-reads
@@ -217,17 +249,43 @@ func (l *Language) CondTargetStats() (sums []mat.Vec, sizes []int) {
 				}
 			}
 		}
+		// Fold every row into its conditions' sums. Each sum[j] is an
+		// independent accumulator, so the four-wide unroll only
+		// interleaves distinct target coordinates — every individual
+		// accumulator still sees its additions in increasing point
+		// order, keeping the sums bit-identical to the rolled loop.
+		// The explicit reslice to len(row) lets the compiler drop the
+		// per-element bounds checks that otherwise dominate the fold.
 		for i := 0; i < n; i++ {
 			row := y.Data[i*d : (i+1)*d]
 			for _, ci := range memb[start[i]:start[i+1]] {
-				sum := buf[int(ci)*d : (int(ci)+1)*d]
-				for j, v := range row {
-					sum[j] += v
+				sum := buf[int(ci)*d:]
+				sum = sum[:len(row)]
+				j := 0
+				for ; j+4 <= len(row); j += 4 {
+					sum[j] += row[j]
+					sum[j+1] += row[j+1]
+					sum[j+2] += row[j+2]
+					sum[j+3] += row[j+3]
+				}
+				for ; j < len(row); j++ {
+					sum[j] += row[j]
 				}
 			}
 		}
 	})
 	return l.condSums, l.condSizes
+}
+
+// binaryTargets reports whether every target value is exactly 0 or 1,
+// the precondition of the popcount sufficient-statistics kernel.
+func binaryTargets(y *mat.Dense) bool {
+	for _, v := range y.Data {
+		if v != 0 && v != 1 {
+			return false
+		}
+	}
+	return true
 }
 
 // Intention materializes the pattern.Intention for a canonical ID

@@ -3,12 +3,33 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/search"
 	"repro/internal/stats"
 )
+
+// The crime replica is memoized per seed, like the mammals replica in
+// fig456.go: generation is a pure function of the seed and Fig1Crime
+// only reads the dataset, so reruns skip the generation and reuse the
+// cached condition language.
+var (
+	crimeMu   sync.Mutex
+	crimeSeed int64
+	crimeMemo *gen.Crime
+)
+
+func crimeFor(seed int64) *gen.Crime {
+	crimeMu.Lock()
+	defer crimeMu.Unlock()
+	if crimeMemo == nil || crimeSeed != seed {
+		crimeMemo = gen.CrimeLike(seed)
+		crimeSeed = seed
+	}
+	return crimeMemo
+}
 
 // Fig1Result reproduces Fig. 1: the distribution of the crime-rate
 // target over the full data, the part covered by the top subgroup, and
@@ -33,7 +54,7 @@ type Fig1Result struct {
 // computes the three density curves. quick restricts the search to
 // 1-condition patterns and coarsens the KDE grid (used by tests).
 func Fig1Crime(seed int64, quick bool) (*Fig1Result, error) {
-	cr := gen.CrimeLike(seed)
+	cr := crimeFor(seed)
 	depth, gridN := 3, 101
 	if quick {
 		depth, gridN = 1, 21

@@ -74,44 +74,67 @@ func (c Condition) Matches(ds *dataset.Dataset, i int) bool {
 }
 
 // Extension returns the bitset of rows matching the condition. The
-// per-operator loops run straight over the column values and set bits
-// word-locally — a language build materializes every condition's
-// extension, so this is the hot path of cold language construction.
+// per-operator loops build each 64-bit word in a register from one
+// 64-value block of the column and store it once — a language build
+// materializes every condition's extension, so this is the hot path of
+// cold language construction, and the per-element read-modify-write of
+// the naive form (plus its data-dependent store) is what it avoids. The
+// conditional-assign inner body compiles to a flag-set rather than a
+// branch, so ~50%-dense percentile splits don't pay a misprediction per
+// element.
 func (c Condition) Extension(ds *dataset.Dataset) *bitset.Set {
 	out := bitset.New(ds.N())
 	vals := ds.Descriptors[c.Attr].Values
 	words := out.Words()
-	switch c.Op {
-	case LE:
-		t := c.Threshold
-		for i, v := range vals {
-			if v <= t {
-				words[i>>6] |= 1 << (uint(i) & 63)
-			}
+	n := len(vals)
+	for base := 0; base < n; base += 64 {
+		end := base + 64
+		if end > n {
+			end = n
 		}
-	case GE:
-		t := c.Threshold
-		for i, v := range vals {
-			if v >= t {
-				words[i>>6] |= 1 << (uint(i) & 63)
+		block := vals[base:end]
+		var w uint64
+		switch c.Op {
+		case LE:
+			t := c.Threshold
+			for j, v := range block {
+				var b uint64
+				if v <= t {
+					b = 1
+				}
+				w |= b << uint(j)
 			}
-		}
-	case EQ:
-		lv := c.Level
-		for i, v := range vals {
-			if int(v) == lv {
-				words[i>>6] |= 1 << (uint(i) & 63)
+		case GE:
+			t := c.Threshold
+			for j, v := range block {
+				var b uint64
+				if v >= t {
+					b = 1
+				}
+				w |= b << uint(j)
 			}
-		}
-	case NE:
-		lv := c.Level
-		for i, v := range vals {
-			if int(v) != lv {
-				words[i>>6] |= 1 << (uint(i) & 63)
+		case EQ:
+			lv := c.Level
+			for j, v := range block {
+				var b uint64
+				if int(v) == lv {
+					b = 1
+				}
+				w |= b << uint(j)
 			}
+		case NE:
+			lv := c.Level
+			for j, v := range block {
+				var b uint64
+				if int(v) != lv {
+					b = 1
+				}
+				w |= b << uint(j)
+			}
+		default:
+			panic("pattern: unknown operator")
 		}
-	default:
-		panic("pattern: unknown operator")
+		words[base>>6] = w
 	}
 	return out
 }

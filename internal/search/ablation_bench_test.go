@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/background"
 	"repro/internal/dataset"
+	"repro/internal/gen"
 	"repro/internal/mat"
 	"repro/internal/si"
 )
@@ -39,6 +40,28 @@ func benchBeam(b *testing.B, parallelism int) {
 
 func BenchmarkBeamSerial(b *testing.B)   { benchBeam(b, 1) }
 func BenchmarkBeamParallel(b *testing.B) { benchBeam(b, 0) } // GOMAXPROCS
+
+// Ablation: admissible SI bound pruning on versus off, on the same
+// search. The two runs return bit-identical patterns (see
+// TestPrunedBeamBitIdentical); the difference is purely how many
+// candidates pay a full scoring pass. The crime replica's 122 numeric
+// descriptors yield ~970 conditions, so each beam parent's refinement
+// run is long enough for the per-parent bound preparation to amortize
+// (on few-condition datasets the engine skips bounding entirely).
+func benchBeamPrune(b *testing.B, noPrune bool) {
+	ds := gen.CrimeLike(gen.SeedCrime).DS
+	sc := benchScorerFor(b, ds)
+	p := Params{MaxDepth: 2, BeamWidth: 10, Parallelism: 1, NoPrune: noPrune}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Beam(ds, sc, p).Top() == nil {
+			b.Fatal("no result")
+		}
+	}
+}
+
+func BenchmarkBeamPruned(b *testing.B)  { benchBeamPrune(b, false) }
+func BenchmarkBeamNoPrune(b *testing.B) { benchBeamPrune(b, true) }
 
 func BenchmarkOptimalBranchAndBound(b *testing.B) {
 	ds := plantedDS(500, 8)

@@ -39,6 +39,11 @@ type Params struct {
 	MinSupport  int       // minimum subgroup size (default 2)
 	Deadline    time.Time // zero means no time budget
 	Parallelism int       // worker goroutines (default GOMAXPROCS)
+	// NoPrune disables admissible SI bound pruning. Pruning never changes
+	// results (the bounds are admissible and verified so by property
+	// tests); the switch exists for ablation benchmarks and as an escape
+	// hatch.
+	NoPrune bool
 }
 
 // withDefaults completes the strategy-level settings. The engine-level
@@ -76,6 +81,14 @@ type Results struct {
 	// which a candidate was actually evaluated.
 	Evaluated int
 	Levels    int
+	// BoundEvals and Pruned count how many candidates had an admissible
+	// SI upper bound computed and how many of those were skipped without
+	// a scoring pass. Diagnostics only: which candidates get pruned
+	// depends on goroutine scheduling (the shared floor rises at
+	// different speeds run to run), so these vary across runs even
+	// though Patterns never does.
+	BoundEvals int
+	Pruned     int
 	// TimedOut reports whether the deadline cut the search short.
 	TimedOut bool
 }
@@ -121,43 +134,56 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 		selectTop = p.TopK
 	}
 	ev := engine.NewEvaluator(lang, sc, engine.Options{
-		Parallelism: p.Parallelism,
-		MinSupport:  p.MinSupport,
-		Deadline:    p.Deadline,
-		SelectTop:   selectTop,
+		Parallelism:   p.Parallelism,
+		MinSupport:    p.MinSupport,
+		Deadline:      p.Deadline,
+		SelectTop:     selectTop,
+		DisableBounds: p.NoPrune,
 	})
 
 	res := &Results{}
 	top := engine.NewTopK(p.TopK)
 
 	// Level 1 candidates: every elementary condition (distinct by
-	// construction, no dedup needed). A nil Parent means the full
+	// construction, no dedup needed). A nil parent means the full
 	// dataset, which lets the evaluator score the level from its
 	// precomputed depth-1 sufficient-statistics table with no bitset
-	// passes at all.
-	cands := make([]engine.Candidate, 0, len(lang.Conds))
+	// passes at all. The one columnar batch is reused across all levels:
+	// its parent, condition and intention-arena streams only ever grow to
+	// the high-water candidate count.
+	batch := &engine.Batch{}
+	batch.Reset(1)
+	batch.StartParent(nil)
+	ids1 := make([]engine.CondID, 1)
 	for i := range lang.Conds {
-		cands = append(cands, engine.Candidate{
-			Cond: engine.CondID(i),
-			Ids:  []engine.CondID{engine.CondID(i)},
-		})
+		ids1[0] = engine.CondID(i)
+		batch.Add(engine.CondID(i), ids1)
 	}
 
 	var scratchIDs []engine.CondID
 	for depth := 1; depth <= p.MaxDepth; depth++ {
-		if len(cands) == 0 {
+		if batch.Len() == 0 {
 			break
 		}
 		if !p.Deadline.IsZero() && time.Now().After(p.Deadline) {
 			res.TimedOut = true
 			break
 		}
-		level, expired := ev.EvaluateBatch(cands)
+		if depth == p.MaxDepth {
+			// The final level's results only feed the top-k log, and the
+			// log's acceptance floor never decreases — so a full log's
+			// current k-th best SI is an admissible starting floor for the
+			// level's bound pruning.
+			if f, full := top.Floor(); full {
+				ev.SeedFloor(f)
+			}
+		}
+		level, expired := ev.EvaluateBatch(batch)
 		if expired {
 			res.TimedOut = true
 			break
 		}
-		res.Evaluated += len(cands)
+		res.Evaluated += batch.Len()
 		res.Levels = depth
 
 		// Batch results are unmaterialized; only the candidates that
@@ -167,7 +193,7 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 		for i := range level {
 			s := &level[i]
 			if top.WouldAccept(s.SI, s.Ids) {
-				ev.Materialize(cands, s)
+				ev.Materialize(batch, s)
 				top.Add(*s)
 			}
 		}
@@ -181,7 +207,7 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 			break
 		}
 		for i := range beam {
-			ev.Materialize(cands, &beam[i])
+			ev.Materialize(batch, &beam[i])
 		}
 
 		// Expand the beam with every condition not already present;
@@ -189,29 +215,34 @@ func Beam(ds *dataset.Dataset, sc Scorer, p Params) *Results {
 		// here, before they cost a scoring pass. The table is per level:
 		// intentions at different depths have different lengths and can
 		// never collide, so nothing is gained by retaining older levels.
+		// Materialize cloned the beam entries' Ids and extensions out of
+		// the batch, so resetting it for the next level is safe (the
+		// Scored structs themselves live in the evaluator's result
+		// buffer, untouched until the next EvaluateBatch) — and grouping
+		// refinements by parent is what lets the evaluator amortize one
+		// bound preparation per parent run.
 		seen := engine.NewDedupFor(len(lang.Conds), p.MaxDepth)
-		next := make([]engine.Candidate, 0, len(beam)*len(lang.Conds))
-		for _, b := range beam {
+		batch.Reset(depth + 1)
+		for i := range beam {
+			b := &beam[i]
+			batch.StartParent(b.Ext)
 			for ci := range lang.Conds {
 				id := engine.CondID(ci)
 				if engine.ContainsID(b.Ids, id) {
 					continue
 				}
 				scratchIDs = engine.InsertSorted(scratchIDs, b.Ids, id)
-				ids, fresh := seen.Insert(scratchIDs)
-				if !fresh {
+				if seen.Seen(scratchIDs) {
 					continue
 				}
-				next = append(next, engine.Candidate{
-					Parent: b.Ext,
-					Cond:   id,
-					Ids:    ids,
-				})
+				batch.Add(id, scratchIDs)
 			}
 		}
-		cands = next
 	}
 
+	st := ev.Stats()
+	res.BoundEvals = int(st.BoundEvals)
+	res.Pruned = int(st.Pruned)
 	res.Patterns = patterns(lang, top.Sorted())
 	return res
 }

@@ -345,6 +345,13 @@ type MineResponse struct {
 	Spread   *PatternJSON `json:"spread,omitempty"`
 	// Evaluated counts candidates scored by the beam search.
 	Evaluated int `json:"evaluated"`
+	// BoundEvals and Pruned report the admissible-bound pruning
+	// diagnostics of the search: how many candidates had an SI upper
+	// bound computed, and how many of those were skipped without a
+	// scoring pass. Pruning never changes results; the exact counts
+	// vary run to run with goroutine scheduling.
+	BoundEvals int `json:"boundEvals,omitempty"`
+	Pruned     int `json:"pruned,omitempty"`
 	// Status is complete, partial or timeout (see the constants).
 	Status string `json:"status"`
 	// TimedOut mirrors Status != complete (kept for older clients).
@@ -942,18 +949,24 @@ func (s *Server) mineJob(sess *session, req MineRequest) jobs.Fn {
 				sess.pendingLoc, sess.pendingSpread = nil, nil
 				sess.mu.Unlock()
 				return &MineResponse{
-					Evaluated: log.Evaluated,
-					Status:    MineStatusTimeout,
-					TimedOut:  true,
+					Evaluated:  log.Evaluated,
+					BoundEvals: log.BoundEvals,
+					Pruned:     log.Pruned,
+					Status:     MineStatusTimeout,
+					TimedOut:   true,
 				}, nil
 			}
 			return nil, err
 		}
+		progress(fmt.Sprintf("beam search done: %d evaluated, %d pruned by SI bounds",
+			log.Evaluated, log.Pruned))
 		resp := &MineResponse{
-			Location:  locationJSON(sess.miner.DS, loc),
-			Evaluated: log.Evaluated,
-			Status:    MineStatusComplete,
-			TimedOut:  log.TimedOut,
+			Location:   locationJSON(sess.miner.DS, loc),
+			Evaluated:  log.Evaluated,
+			BoundEvals: log.BoundEvals,
+			Pruned:     log.Pruned,
+			Status:     MineStatusComplete,
+			TimedOut:   log.TimedOut,
 		}
 		if log.TimedOut {
 			resp.Status = MineStatusPartial

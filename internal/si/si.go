@@ -17,6 +17,7 @@ import (
 	"errors"
 	"math"
 	"math/bits"
+	"sort"
 	"sync"
 
 	"repro/internal/background"
@@ -302,6 +303,13 @@ type LocationScorer struct {
 	shared  *mat.Cholesky // non-nil → all groups share Sigma
 	logDetS float64       // log|Σ| of the shared matrix
 
+	// Bound-pruning state (see NewBoundWorker), built lazily once and
+	// shared read-only by all bound workers: per-point residual
+	// magnitudes against each point's own background group mean.
+	boundOnce   sync.Once
+	boundVals   []float64
+	boundInvVar float64 // d == 1 only: 1/Σ, the shared scalar precision
+
 	pool sync.Pool // of *LocationWorker, for the concurrent Score path
 }
 
@@ -312,6 +320,7 @@ type LocationScorer struct {
 var (
 	_ engine.WorkerScorer     = (*LocationScorer)(nil)
 	_ engine.GroupLabeler     = (*LocationScorer)(nil)
+	_ engine.BoundScorer      = (*LocationScorer)(nil)
 	_ engine.StatScorerWorker = (*LocationWorker)(nil)
 )
 
@@ -796,4 +805,143 @@ func (w *LocationWorker) finish(counts []int32, cnt, numConds int, touched []uin
 		ic = 0.5 * (float64(d)*math.Log(2*math.Pi) + w.chol.LogDet() + mahal)
 	}
 	return ic / s.P.DL(numConds, false), ic, yhat, true
+}
+
+// NewBoundWorker implements engine.BoundScorer. The bound exploits the
+// shared-Σ IC form: for a subgroup c of size k,
+//
+//	IC = ½(d·log2π + log|Σ| − d·log k + k·δᵀΣ⁻¹δ),  δ = (1/k)·Σ_{i∈c} zᵢ,
+//
+// with residuals zᵢ = yᵢ − µ_{g(i)}. Everything but the Mahalanobis
+// term depends only on k, so an upper bound on k·δᵀΣ⁻¹δ over all
+// k-subsets of a parent extension bounds the IC — and dividing by the
+// exact DL(numConds) bounds the SI.
+//
+//   - d = 1: k·δ²/σ² = S²/(k·σ²) with S = Σ_{i∈c} zᵢ. Over k-subsets,
+//     |S| is maximized by the k largest or the k most negative parent
+//     residuals — O(1) from prefix sums of the sorted residuals.
+//   - d ≥ 2: ‖L⁻¹δ‖ ≤ (1/k)·Σ‖L⁻¹zᵢ‖ (triangle inequality), so with
+//     rᵢ = √(zᵢᵀΣ⁻¹zᵢ) precomputed per point, k·δᵀΣ⁻¹δ ≤ R(k)²/k where
+//     R(k) is the top-k residual-norm sum of the parent.
+//
+// The triangle inequality loosens with dimension (and the per-point
+// Mahalanobis norms cost d² each to precompute), so bounds are offered
+// only for d ≤ 8; without a shared Σ the IC has no such form at all.
+// Both cases return nil and the evaluator scores everything.
+func (s *LocationScorer) NewBoundWorker() engine.BoundWorker {
+	if s.shared == nil || s.d > 8 {
+		return nil
+	}
+	s.boundOnce.Do(func() {
+		n := len(s.labels)
+		d := s.d
+		vals := make([]float64, n)
+		if d == 1 {
+			for i := 0; i < n; i++ {
+				vals[i] = s.Y.Data[i] - s.mus[s.labels[i]]
+			}
+			l0 := s.shared.L[0]
+			s.boundInvVar = 1 / (l0 * l0)
+		} else {
+			z := make(mat.Vec, d)
+			sol := make(mat.Vec, d)
+			for i := 0; i < n; i++ {
+				row := s.Y.Data[i*d : (i+1)*d]
+				mu := s.mus[int(s.labels[i])*d:]
+				for j, v := range row {
+					z[j] = v - mu[j]
+				}
+				vals[i] = math.Sqrt(s.shared.MahalanobisSq(sol, z))
+			}
+		}
+		s.boundVals = vals
+	})
+	return &locationBoundWorker{s: s}
+}
+
+// locationBoundWorker prepares per-parent sorted residual prefix sums
+// and answers O(1) size-k SI bounds. Single-goroutine, engine-owned.
+type locationBoundWorker struct {
+	s      *LocationScorer
+	vals   []float64 // parent residuals, sorted ascending
+	prefix []float64 // prefix[i] = Σ vals[:i]
+	slack  float64   // summation-error allowance, see Prepare
+}
+
+// Prepare implements engine.BoundWorker: gathers the parent's
+// residuals, sorts them and builds prefix sums so BoundSI answers any
+// subset size in O(1). Reports false (no bound available) for a nil or
+// empty parent.
+func (w *locationBoundWorker) Prepare(parent *bitset.Set) bool {
+	if parent == nil {
+		return false
+	}
+	resid := w.s.boundVals
+	vals := w.vals[:0]
+	absSum := 0.0
+	for wi, word := range parent.Words() {
+		base := wi * 64
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			v := resid[base+b]
+			vals = append(vals, v)
+			absSum += math.Abs(v)
+		}
+	}
+	w.vals = vals
+	m := len(vals)
+	if m == 0 {
+		return false
+	}
+	sort.Float64s(vals)
+	if cap(w.prefix) < m+1 {
+		w.prefix = make([]float64, m+1)
+	}
+	prefix := w.prefix[:m+1]
+	prefix[0] = 0
+	run := 0.0
+	for i, v := range vals {
+		run += v
+		prefix[i+1] = run
+	}
+	w.prefix = prefix
+	// Any subset sum recovered from the prefix array carries at most
+	// m·ε·Σ|vᵢ| of accumulated rounding; adding it keeps the extremal
+	// sums admissible. (The evaluator adds its own relative inflation on
+	// the SI for the remaining algebra.)
+	w.slack = float64(m) * 4e-16 * absSum
+	return true
+}
+
+// BoundSI implements engine.BoundWorker.
+func (w *locationBoundWorker) BoundSI(size, numConds int) float64 {
+	s := w.s
+	prefix := w.prefix
+	m := len(prefix) - 1
+	k := size
+	if k > m {
+		k = m
+	}
+	mx := prefix[m] - prefix[m-k] // largest k-subset sum
+	if s.d == 1 {
+		// Signed residuals: the most negative k-subset sum (the k
+		// smallest residuals) can have the larger magnitude.
+		if low := -prefix[k]; low > mx {
+			mx = low
+		}
+	}
+	mx += w.slack
+	if mx < 0 {
+		mx = 0
+	}
+	var mahal float64
+	if s.d == 1 {
+		mahal = mx * mx * s.boundInvVar / float64(k)
+	} else {
+		mahal = mx * mx / float64(k)
+	}
+	ic := 0.5 * (float64(s.d)*math.Log(2*math.Pi) + s.logDetS -
+		float64(s.d)*math.Log(float64(k)) + mahal)
+	return ic / s.P.DL(numConds, false)
 }

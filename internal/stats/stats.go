@@ -12,8 +12,10 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/mat"
 )
 
@@ -81,19 +83,44 @@ func MeanVec(y *mat.Dense, idx []int) mat.Vec {
 // rows are used. Only the upper triangle is accumulated (the lower is a
 // mirror: the (a,b) and (b,a) products are the same multiplications in
 // the same order, so nothing is lost), halving the dominant d²·n work.
+// The centered row is computed once per point instead of re-subtracting
+// mu inside every (a,b) product — the differences are the exact same
+// floats, and each cr[b] accumulator still sees the identical products
+// in the identical order, so the result is bit-for-bit unchanged.
 func CovMat(y *mat.Dense, idx []int) *mat.Dense {
 	d := y.C
+	if idx == nil {
+		if cov := covMatBinary(y); cov != nil {
+			return cov
+		}
+	}
 	mu := MeanVec(y, idx)
 	cov := mat.NewDense(d, d)
+	cent := make([]float64, d)
 	accumulate := func(row mat.Vec) {
+		for b, v := range row {
+			cent[b] = v - mu[b]
+		}
 		for a := 0; a < d; a++ {
-			da := row[a] - mu[a]
+			da := cent[a]
 			if da == 0 {
 				continue
 			}
-			cr := cov.Data[a*d : (a+1)*d]
-			for b := a; b < d; b++ {
-				cr[b] += da * (row[b] - mu[b])
+			cb := cent[a:d]
+			cr := cov.Data[a*d+a : (a+1)*d : (a+1)*d]
+			cr = cr[:len(cb)]
+			// Each cr[b] is its own accumulator, so the four-wide
+			// unroll leaves every accumulator's addition order — and
+			// therefore every float — unchanged.
+			b := 0
+			for ; b+4 <= len(cb); b += 4 {
+				cr[b] += da * cb[b]
+				cr[b+1] += da * cb[b+1]
+				cr[b+2] += da * cb[b+2]
+				cr[b+3] += da * cb[b+3]
+			}
+			for ; b < len(cb); b++ {
+				cr[b] += da * cb[b]
 			}
 		}
 	}
@@ -121,6 +148,54 @@ func CovMat(y *mat.Dense, idx []int) *mat.Dense {
 	return cov
 }
 
+// covMatBinary computes the full-data covariance when every entry of y
+// is 0 or 1 (the presence/absence target matrices of the ecology
+// datasets), or returns nil when it does not apply. For binary columns
+// the cross moment Σᵢ y_ia·y_ib is the integer |ones(a) ∩ ones(b)|, so
+// the d²/2 pairwise sums collapse from n multiply-adds each to a
+// word-batched popcount: cov_ab = (S_ab − k_a·k_b/n)/n with
+// k_a = |ones(a)|. All sums are exact integers below 2⁵³, making this
+// at least as accurate as the centered accumulation it replaces.
+func covMatBinary(y *mat.Dense) *mat.Dense {
+	n, d := y.R, y.C
+	if n == 0 || d == 0 {
+		return nil
+	}
+	for _, v := range y.Data {
+		if v != 0 && v != 1 {
+			return nil
+		}
+	}
+	cols := make([]*bitset.Set, d)
+	for j := range cols {
+		cols[j] = bitset.New(n)
+	}
+	for i := 0; i < n; i++ {
+		row := y.Data[i*d : (i+1)*d]
+		for j, v := range row {
+			if v == 1 {
+				cols[j].Add(i)
+			}
+		}
+	}
+	k := make([]float64, d)
+	for j := range k {
+		k[j] = float64(cols[j].Count())
+	}
+	cov := mat.NewDense(d, d)
+	inv := 1 / float64(n)
+	for a := 0; a < d; a++ {
+		ka := k[a]
+		for b := a; b < d; b++ {
+			s := float64(cols[a].IntersectCount(cols[b]))
+			c := (s - ka*k[b]*inv) * inv
+			cov.Data[a*d+b] = c
+			cov.Data[b*d+a] = c
+		}
+	}
+	return cov
+}
+
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
 // interpolation between order statistics, the same convention as MATLAB's
 // prctile with interpolation. xs is not modified.
@@ -135,11 +210,16 @@ func Percentile(xs []float64, p float64) float64 {
 
 // Percentiles returns the p-th percentile of xs for every p in ps, with
 // exactly the interpolation (and therefore exactly the values) of
-// Percentile. Instead of fully sorting the copy it partially selects
-// just the ≤ 2·len(ps) order statistics the interpolation reads —
-// expected O(n + k·log k) instead of O(n·log n) — which makes it the
-// form hot language builds use: a condition language needs a handful of
-// split points per column, not a sorted column. xs is not modified.
+// Percentile. Instead of sorting (or repeatedly quickselecting) it runs
+// an adaptive radix selection over order-preserving integer keys: each
+// round buckets the current range on its top ~10 *varying* bits (an
+// OR/AND mask skips the high bits normalized columns share), scatters
+// once, and resolves every requested order statistic against that same
+// scatter — O(n) total with branch-free passes, where the former
+// comparison selects paid a mispredicting swap-heavy partition per
+// statistic. The selected values are full-sort-exact: the key mapping
+// is monotone with NaNs pinned first, matching sort.Float64s order.
+// xs is not modified.
 func Percentiles(xs []float64, ps []float64) []float64 {
 	out := make([]float64, len(ps))
 	n := len(xs)
@@ -149,7 +229,8 @@ func Percentiles(xs []float64, ps []float64) []float64 {
 		}
 		return out
 	}
-	// Collect the order-statistic indices the interpolations read.
+	// Collect the order-statistic indices the interpolations read
+	// (ascending, deduplicated — multiSelectKeys wants them sorted).
 	idxs := make([]int, 0, 2*len(ps))
 	for _, p := range ps {
 		if p < 0 || p > 100 {
@@ -159,98 +240,163 @@ func Percentiles(xs []float64, ps []float64) []float64 {
 		idxs = append(idxs, int(math.Floor(pos)), int(math.Ceil(pos)))
 	}
 	sort.Ints(idxs)
-	work := append([]float64(nil), xs...)
-	// Partition NaNs to the front once (sort.Float64s order), so the
-	// selection loop runs on the NaN-free suffix with a plain < compare —
-	// the comparator is the inner loop, and the NaN check would roughly
-	// double it.
-	nan := 0
-	for i, v := range work {
-		if math.IsNaN(v) {
-			work[i], work[nan] = work[nan], work[i]
-			nan++
-		}
-	}
-	from := nan
+	uniq := idxs[:0]
 	for _, k := range idxs {
-		if k < from {
-			continue // duplicate, NaN-pinned, or pinned by a previous selection
-		}
-		selectFloat64(work, from, n, k)
-		from = k + 1
-		if from >= n {
-			break
+		if len(uniq) == 0 || uniq[len(uniq)-1] != k {
+			uniq = append(uniq, k)
 		}
 	}
-	// work is only partially sorted, but every order-statistic position
-	// an interpolation reads was pinned by the selection loop above, so
-	// PercentileSorted reads the exact full-sort values.
+
+	keys := make([]uint64, 2*n)
+	tmp := keys[n:]
+	keys = keys[:n]
+	for i, v := range xs {
+		keys[i] = floatOrderKey(v)
+	}
+	sel := make([]uint64, len(uniq))
+	ranks := append([]int(nil), uniq...) // multiSelectKeys rebases its rank slice
+	multiSelectKeys(keys, tmp, ranks, sel)
+	ord := func(k int) float64 {
+		j := sort.SearchInts(uniq, k)
+		return floatFromOrderKey(sel[j])
+	}
+	// Interpolate with the exact arithmetic of PercentileSorted.
 	for i, p := range ps {
-		out[i] = PercentileSorted(work, p)
+		if n == 1 {
+			out[i] = ord(0)
+			continue
+		}
+		pos := p / 100 * float64(n-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			out[i] = ord(lo)
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = ord(lo)*(1-frac) + ord(hi)*frac
 	}
 	return out
 }
 
-// selectFloat64 partially sorts the NaN-free range a[lo:hi] so that
-// a[k] holds the value a full ascending sort would put there,
-// everything left of k is ≤ a[k] and everything right is ≥ a[k].
-// Median-of-three quickselect with a three-way (Dutch-flag) partition:
-// heavily tied columns — binary presence/absence targets, ordinal
-// descriptors — collapse in one round instead of degrading
-// quadratically.
-func selectFloat64(a []float64, lo, hi, k int) {
-	for hi-lo > 12 {
-		// Median-of-three pivot.
-		mid := int(uint(lo+hi) >> 1)
-		p := median3(a[lo], a[mid], a[hi-1])
-		lt, gt := lo, hi-1
-		i := lo
-		for i <= gt {
-			switch {
-			case a[i] < p:
-				a[i], a[lt] = a[lt], a[i]
-				lt++
-				i++
-			case p < a[i]:
-				a[i], a[gt] = a[gt], a[i]
-				gt--
-			default:
-				i++
-			}
-		}
-		// a[lo:lt] < p ≤ a[lt:gt+1] == p ≤ a[gt+1:hi].
-		switch {
-		case k < lt:
-			hi = lt
-		case k > gt:
-			lo = gt + 1
-		default:
-			return // k lands in the equal run: done
-		}
+// floatOrderKey maps v to a uint64 whose unsigned order matches the
+// sort.Float64s order of the values: NaNs first (key 0), then ascending
+// by value (negatives flip all bits, non-negatives flip the sign bit).
+// The mapping is invertible on non-NaN values via floatFromOrderKey; no
+// non-NaN value maps to key 0.
+func floatOrderKey(v float64) uint64 {
+	if v != v {
+		return 0
 	}
-	// Small range: insertion sort settles every position.
-	for i := lo + 1; i < hi; i++ {
-		v := a[i]
-		j := i
-		for j > lo && v < a[j-1] {
-			a[j] = a[j-1]
-			j--
-		}
-		a[j] = v
+	b := math.Float64bits(v)
+	if b&(1<<63) != 0 {
+		return ^b
 	}
+	return b | 1<<63
 }
 
-func median3(a, b, c float64) float64 {
-	if b < a {
-		a, b = b, a
+// floatFromOrderKey inverts floatOrderKey (key 0 decodes to NaN).
+func floatFromOrderKey(k uint64) float64 {
+	if k == 0 {
+		return math.NaN()
 	}
-	if c < b {
-		b = c
-		if b < a {
-			b = a
+	if k&(1<<63) != 0 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
+}
+
+// multiSelectKeys resolves several order statistics of keys in one
+// walk: ks lists the wanted 0-based ranks (ascending, unique) and the
+// matching sel entry receives the rank's key. keys and tmp are equal-
+// length scratch that is permuted/overwritten. Each round masks off the
+// high bits every key shares (OR/AND over the range), buckets on the
+// top ≤10 varying bits, scatters the range once, and either descends
+// into the single bucket holding all remaining ranks or recurses per
+// bucket — so a column costs O(n) regardless of how many statistics are
+// read, and heavily tied columns (whole buckets of one value) terminate
+// on the all-equal check instead of degrading.
+func multiSelectKeys(keys, tmp []uint64, ks []int, sel []uint64) {
+	const bucketBits = 10
+	const buckets = 1 << bucketBits
+	for {
+		n := len(keys)
+		if n <= 48 {
+			// Insertion sort settles the small remainder exactly.
+			for i := 1; i < n; i++ {
+				v := keys[i]
+				j := i
+				for j > 0 && v < keys[j-1] {
+					keys[j] = keys[j-1]
+					j--
+				}
+				keys[j] = v
+			}
+			for i, k := range ks {
+				sel[i] = keys[k]
+			}
+			return
+		}
+		orAll, andAll := uint64(0), ^uint64(0)
+		for _, k := range keys {
+			orAll |= k
+			andAll &= k
+		}
+		varying := orAll ^ andAll
+		if varying == 0 {
+			for i := range ks {
+				sel[i] = keys[0]
+			}
+			return
+		}
+		shift := bits.Len64(varying) - bucketBits
+		if shift < 0 {
+			shift = 0
+		}
+		var hist [buckets]int32
+		for _, k := range keys {
+			hist[(k>>uint(shift))&(buckets-1)]++
+		}
+		var start [buckets + 1]int32
+		s := int32(0)
+		for b := 0; b < buckets; b++ {
+			start[b] = s
+			s += hist[b]
+		}
+		start[buckets] = s
+		pos := start
+		for _, k := range keys {
+			b := (k >> uint(shift)) & (buckets - 1)
+			tmp[pos[b]] = k
+			pos[b]++
+		}
+		// Group the ranks by bucket; tail-descend when one bucket holds
+		// them all (the common case once ranks cluster), recurse otherwise.
+		b := 0
+		i := 0
+		for i < len(ks) {
+			for int(start[b+1]) <= ks[i] {
+				b++
+			}
+			j := i
+			for j < len(ks) && ks[j] < int(start[b+1]) {
+				j++
+			}
+			lo, hi := start[b], start[b+1]
+			for t := i; t < j; t++ {
+				ks[t] -= int(lo)
+			}
+			if i == 0 && j == len(ks) {
+				keys, tmp = tmp[lo:hi], keys[lo:hi]
+				break // tail-descend with the swapped scratch
+			}
+			multiSelectKeys(tmp[lo:hi], keys[lo:hi], ks[i:j], sel[i:j])
+			i = j
+			if i == len(ks) {
+				return
+			}
 		}
 	}
-	return b
 }
 
 // PercentileSorted is Percentile over already-sorted data — the form

@@ -298,8 +298,14 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 // and tiny inputs.
 func TestPercentilesMatchesSortedExactly(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	for trial := 0; trial < 200; trial++ {
+	for trial := 0; trial < 240; trial++ {
 		n := 1 + rng.Intn(400)
+		if trial%8 >= 6 {
+			// Large columns drive the radix selection through multi-round
+			// descents and per-bucket recursion, not just the small-range
+			// insertion sort.
+			n = 1500 + rng.Intn(3000)
+		}
 		xs := make([]float64, n)
 		switch trial % 4 {
 		case 0: // continuous
@@ -314,12 +320,19 @@ func TestPercentilesMatchesSortedExactly(t *testing.T) {
 			for i := range xs {
 				xs[i] = float64(rng.Intn(5))
 			}
-		case 3: // continuous with NaNs (sorted first, like sort.Float64s)
+		case 3: // continuous with NaNs (sorted first, like sort.Float64s),
+			// normalized [0,1) values (shared high key bits), and the
+			// signed-zero / infinity edge keys
 			for i := range xs {
-				if rng.Intn(8) == 0 {
+				switch rng.Intn(10) {
+				case 0:
 					xs[i] = math.NaN()
-				} else {
-					xs[i] = rng.NormFloat64()
+				case 1:
+					xs[i] = math.Inf(1 - 2*rng.Intn(2))
+				case 2:
+					xs[i] = 0 * float64(1-2*rng.Intn(2)) // ±0
+				default:
+					xs[i] = rng.Float64()
 				}
 			}
 		}
