@@ -1,0 +1,137 @@
+// Command apicheck lints the HTTP API surface in internal/server so
+// the versioned-API contract cannot rot silently:
+//
+//   - every error response must go through the designated writeError
+//     writer (which emits the /api/v1 envelope and the legacy flat
+//     body): calls to http.Error and hand-rolled {"error": ...} map
+//     literals outside writeError fail the check;
+//   - every route must be registered inside the routes() function with
+//     a prefix-relative pattern, and routes() may only be mounted at
+//     the approved prefixes (/api/v1 and the deprecated /api alias) —
+//     an unversioned or stray registration fails the check.
+//
+// Run from the repository root (CI does): go run ./cmd/apicheck
+// A non-default package directory can be passed as the only argument.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// approvedPrefixes are the only mounts routes() may be called with.
+var approvedPrefixes = map[string]bool{
+	`"/api/v1"`: true,
+	`"/api"`:    true, // deprecated alias
+}
+
+func main() {
+	dir := "internal/server"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: parsing %s: %v\n", dir, err)
+		os.Exit(2)
+	}
+	var fails []string
+	fail := func(pos token.Pos, format string, args ...any) {
+		fails = append(fails, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFunc(fd, fail)
+			}
+		}
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "apicheck: %d violation(s)\n", len(fails))
+		os.Exit(1)
+	}
+	fmt.Println("apicheck: ok")
+}
+
+func checkFunc(fd *ast.FuncDecl, fail func(token.Pos, string, ...any)) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "http" && sel.Sel.Name == "Error" {
+				fail(n.Pos(), "http.Error bypasses the error envelope; use writeError")
+			}
+			switch sel.Sel.Name {
+			case "HandleFunc", "Handle":
+				// Only mux registrations inside routes() count (ignore
+				// e.g. http.HandleFunc-free code; the receiver doesn't
+				// matter — any registration belongs in routes()).
+				if name != "routes" {
+					fail(n.Pos(), "route registered outside routes(); all registrations go through routes() so the /api/v1 and /api mounts cannot drift")
+				} else if len(n.Args) > 0 && !usesIdent(n.Args[0], "prefix") {
+					fail(n.Pos(), "route pattern does not use the prefix parameter; hardcoded paths make the mount unversioned")
+				}
+			case "routes":
+				if len(n.Args) == 2 {
+					lit, ok := n.Args[1].(*ast.BasicLit)
+					if !ok || !approvedPrefixes[lit.Value] {
+						fail(n.Pos(), "routes() mounted at unapproved prefix %s (allowed: /api/v1, /api)", exprString(n.Args[1]))
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			// A hand-rolled {"error": ...} body outside the designated
+			// writer is a second error shape waiting to diverge.
+			if name == "writeError" {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if lit, ok := kv.Key.(*ast.BasicLit); ok && lit.Value == `"error"` {
+					fail(kv.Pos(), "error body constructed outside writeError; use writeError so /api/v1 gets the envelope")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// usesIdent reports whether expr mentions an identifier named name.
+func usesIdent(expr ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func exprString(e ast.Expr) string {
+	if lit, ok := e.(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return fmt.Sprintf("%T", e)
+}

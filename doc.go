@@ -21,6 +21,15 @@
 // by information projection (Theorems 1 and 2 of the paper), so the
 // next iteration automatically surfaces non-redundant patterns.
 //
+// The background model is versioned copy-on-write: every commit builds
+// and atomically publishes the next immutable ModelVersion. Concurrent
+// use follows from that — Miner.Snapshot pins a version, and MineAt /
+// MineSpreadAt / ExplainLocationAt run lock-free against it while
+// commits proceed, with results byte-identical to a serial run against
+// the same version. Session persistence goes through SaveModel and
+// Restore (RestoreOptions); the older positional RestoreMiner is
+// deprecated but still works.
+//
 // # Quick start
 //
 //	ds := ...                      // *sisd.Dataset (see ReadCSV / generators)

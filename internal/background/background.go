@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitset"
@@ -50,7 +51,13 @@ type Group struct {
 	Mu      mat.Vec
 	Sigma   *mat.Dense
 
-	chol *mat.Cholesky // cache of Sigma's factorization; nil when stale
+	// chol caches Sigma's factorization. It is the one piece of group
+	// state a *reader* may fill (lazily, on first use), so once groups
+	// are reachable from a published ModelVersion the cache must be
+	// filled with an atomic idempotent store: concurrent mines racing
+	// on the fill each publish a bit-identical factorization of the
+	// same immutable Sigma, and either winning is indistinguishable.
+	chol atomic.Pointer[mat.Cholesky]
 
 	// version counts µ/Σ mutations of this group. Constraints stamp the
 	// versions of their dependency groups after each apply; a stamp
@@ -63,15 +70,34 @@ type Group struct {
 }
 
 // Chol returns a cached Cholesky factorization of the group covariance.
+// Safe for concurrent callers on a published group.
 func (g *Group) Chol() (*mat.Cholesky, error) {
-	if g.chol == nil {
-		c, err := mat.NewCholesky(g.Sigma)
-		if err != nil {
-			return nil, err
-		}
-		g.chol = c
+	if c := g.chol.Load(); c != nil {
+		return c, nil
 	}
-	return g.chol, nil
+	c, err := mat.NewCholesky(g.Sigma)
+	if err != nil {
+		return nil, err
+	}
+	g.chol.Store(c)
+	return c, nil
+}
+
+// derive builds a group that inherits this group's Sigma, cached
+// factorization and version counter, with the given membership and
+// mean. Every group copy in the package (commit forks, split halves,
+// clones) goes through here so the shared-by-pointer discipline and
+// the version-preservation invariant live in one place.
+func (g *Group) derive(members *bitset.Set, count int, mu mat.Vec) *Group {
+	ng := &Group{
+		Members: members,
+		Count:   count,
+		Mu:      mu,
+		Sigma:   g.Sigma,
+		version: g.version,
+	}
+	ng.chol.Store(g.chol.Load())
+	return ng
 }
 
 // constraint is one committed pattern, replayed during coordinate
@@ -221,6 +247,17 @@ type Model struct {
 	// the zero conState is never mistaken for valid.
 	epoch uint64
 
+	// version stamps the published belief state: it advances by one per
+	// successful commit and is carried by the ModelVersion in cur.
+	// Mutated only by the (single) writer.
+	version uint64
+	// cur is the atomically published immutable snapshot of the model.
+	// Commits build the next state on copied groups/labels (see
+	// beginCommit) and swing this pointer once, so readers holding a
+	// *ModelVersion never observe a commit in progress and never block
+	// behind one.
+	cur atomic.Pointer[ModelVersion]
+
 	scratch applyScratch
 
 	// noSkip disables dirty-constraint skipping, forcing every sweep to
@@ -269,17 +306,52 @@ func New(n int, mu mat.Vec, sigma *mat.Dense) (*Model, error) {
 		Count:   n,
 		Mu:      mu.Clone(),
 		Sigma:   sigma,
-		chol:    chol, // the SPD validation doubles as the cache fill
 	}
-	return &Model{
+	g.chol.Store(chol) // the SPD validation doubles as the cache fill
+	m := &Model{
 		n:         n,
 		d:         d,
 		groups:    []*Group{g},
 		labels:    make([]int32, n),
 		epoch:     1,
+		version:   1,
 		Tol:       1e-8,
 		MaxSweeps: 5000,
-	}, nil
+	}
+	m.publishCurrent()
+	return m, nil
+}
+
+// Snapshot returns the most recently published immutable version of
+// the model. Safe for concurrent callers; the returned version is
+// valid forever (it is never mutated, only superseded).
+func (m *Model) Snapshot() *ModelVersion { return m.cur.Load() }
+
+// Version returns the version stamp of the current belief state. Like
+// every non-Snapshot read of a live Model it belongs to the writer;
+// concurrent readers use Snapshot().Version().
+func (m *Model) Version() uint64 { return m.version }
+
+// publishCurrent publishes the model's current state under its current
+// version stamp (initial construction, clone, deserialization).
+func (m *Model) publishCurrent() {
+	m.cur.Store(&ModelVersion{
+		version:   m.version,
+		n:         m.n,
+		d:         m.d,
+		groups:    m.groups,
+		labels:    m.labels,
+		cons:      m.cons,
+		tol:       m.Tol,
+		maxSweeps: m.MaxSweeps,
+	})
+}
+
+// publish stamps the next version and publishes it — the single
+// linearization point of a successful commit.
+func (m *Model) publish() {
+	m.version++
+	m.publishCurrent()
 }
 
 // N returns the number of data points.
@@ -330,6 +402,7 @@ func (m *Model) Clone() *Model {
 	out := &Model{
 		n: m.n, d: m.d,
 		epoch:     m.epoch,
+		version:   m.version,
 		Tol:       m.Tol,
 		MaxSweeps: m.MaxSweeps,
 		Deadline:  m.Deadline,
@@ -342,14 +415,7 @@ func (m *Model) Clone() *Model {
 		// update replaces the matrix wholesale (see spreadConstraint.
 		// apply) — so sharing is safe and keeps Clone O(groups·d) for
 		// the location-only regime where Theorem 1 leaves Σ untouched.
-		out.groups[i] = &Group{
-			Members: g.Members.Clone(),
-			Count:   g.Count,
-			Mu:      g.Mu.Clone(),
-			Sigma:   g.Sigma,
-			chol:    g.chol,
-			version: g.version,
-		}
+		out.groups[i] = g.derive(g.Members.Clone(), g.Count, g.Mu.Clone())
 	}
 	out.labels = append([]int32(nil), m.labels...)
 	out.cons = append([]constraint(nil), m.cons...)
@@ -365,6 +431,7 @@ func (m *Model) Clone() *Model {
 			violation: st.violation,
 		}
 	}
+	out.publishCurrent()
 	return out
 }
 
@@ -410,8 +477,8 @@ func (m *Model) split(ext *bitset.Set) {
 		remap[gi] = -1
 		outside := g.Members.AndNot(ext)
 		out = append(out,
-			&Group{Members: in, Count: ic, Mu: g.Mu.Clone(), Sigma: g.Sigma, chol: g.chol, version: g.version},
-			&Group{Members: outside, Count: g.Count - ic, Mu: g.Mu.Clone(), Sigma: g.Sigma, chol: g.chol, version: g.version},
+			g.derive(in, ic, g.Mu.Clone()),
+			g.derive(outside, g.Count-ic, g.Mu.Clone()),
 		)
 	}
 	prev := m.epoch
@@ -493,24 +560,7 @@ func (m *Model) canSkip(st *conState) bool {
 // the paper's missing 1/|I| factor). The extension need not align with
 // group boundaries.
 func (m *Model) SubgroupMeanMarginal(ext *bitset.Set) (mu mat.Vec, cov *mat.Dense, err error) {
-	cnt := ext.Count()
-	if cnt == 0 {
-		return nil, nil, ErrNoPoints
-	}
-	mu = make(mat.Vec, m.d)
-	cov = mat.NewDense(m.d, m.d)
-	for _, g := range m.groups {
-		ic := g.Members.IntersectCount(ext)
-		if ic == 0 {
-			continue
-		}
-		w := float64(ic)
-		mu.AddScaled(w, g.Mu)
-		cov.AddScaled(w, g.Sigma)
-	}
-	mu.Scale(1 / float64(cnt))
-	cov.Scale(1 / float64(cnt*cnt))
-	return mu, cov, nil
+	return subgroupMeanMarginal(m.groups, m.d, ext)
 }
 
 // GroupStats describes, for one parameter group intersecting an
@@ -532,26 +582,7 @@ type GroupStats struct {
 // once per distinct Σ matrix (split siblings share Σ by pointer until a
 // spread commit diverges them).
 func (m *Model) SpreadStats(ext *bitset.Set, w, center mat.Vec) []GroupStats {
-	counts := m.CountByGroup(ext, nil)
-	var out []GroupStats
-	var prevSigma *mat.Dense
-	var prevS float64
-	for gi, g := range m.groups {
-		ic := counts[gi]
-		if ic == 0 {
-			continue
-		}
-		if g.Sigma != prevSigma {
-			prevSigma = g.Sigma
-			prevS = w.Dot(g.Sigma.MulVec(w))
-		}
-		out = append(out, GroupStats{
-			Count:     int(ic),
-			S:         prevS,
-			MeanShift: w.Dot(center.Sub(g.Mu)),
-		})
-	}
-	return out
+	return groupSpreadStats(m.groups, m.labels, ext, w, center)
 }
 
 // CountByGroup accumulates |ext ∩ group| for every group in one
@@ -559,24 +590,7 @@ func (m *Model) SpreadStats(ext *bitset.Set, w, center mat.Vec) []GroupStats {
 // too small) and returning it. This is the fused sufficient-statistics
 // kernel: cost O(n/64 + |ext|) regardless of the group count.
 func (m *Model) CountByGroup(ext *bitset.Set, counts []int32) []int32 {
-	if cap(counts) < len(m.groups) {
-		counts = make([]int32, len(m.groups))
-	} else {
-		counts = counts[:len(m.groups)]
-		for i := range counts {
-			counts[i] = 0
-		}
-	}
-	labels := m.labels
-	for wi, w := range ext.Words() {
-		base := wi * 64
-		for w != 0 {
-			b := bits.TrailingZeros64(w)
-			w &= w - 1
-			counts[labels[base+b]]++
-		}
-	}
-	return counts
+	return countByGroup(m.labels, len(m.groups), ext, counts)
 }
 
 // DistinctSigmaChols returns the Cholesky factorization shared by all
@@ -585,51 +599,47 @@ func (m *Model) CountByGroup(ext *bitset.Set, counts []int32) []int32 {
 // Theorem 1 leaves Σ untouched), and ok=false otherwise. The beam search
 // uses this fast path to avoid a d³ factorization per candidate.
 func (m *Model) DistinctSigmaChols() (chol *mat.Cholesky, ok bool, err error) {
-	if len(m.groups) == 0 {
-		return nil, false, nil
-	}
-	first := m.groups[0]
-	for _, g := range m.groups[1:] {
-		// Location-only models share one Σ by pointer (split never
-		// copies), so the common case is a pointer compare; the value
-		// compare remains for matrices that are equal but distinct.
-		if g.Sigma != first.Sigma && g.Sigma.MaxAbsDiff(first.Sigma) > 0 {
-			return nil, false, nil
-		}
-	}
-	c, err := first.Chol()
-	if err != nil {
-		return nil, false, err
-	}
-	return c, true, nil
+	return distinctSigmaChols(m.groups)
 }
 
-// snapshotGroups copies the current group parameters so a failed commit
-// can be rolled back. Only Mu needs a deep copy: the coordinate descent
-// mutates means in place, but member bitsets are never mutated after
-// construction and covariance matrices are replaced (never written)
-// by spread updates, so both are shared with the live groups.
-func (m *Model) snapshotGroups() []*Group {
-	out := make([]*Group, len(m.groups))
+// commitRestore holds the pointers a failed commit restores. Because
+// commits fork before writing, "rollback" is just putting the old
+// pointers back — the published version was never touched.
+type commitRestore struct {
+	groups []*Group
+	labels []int32
+}
+
+// beginCommit forks the mutable state a commit writes into, leaving
+// the state the published version references untouched: every group
+// is copied with a fresh Mu (the coordinate descent mutates means in
+// place) while member bitsets, covariances and Cholesky caches stay
+// shared by pointer (never written in place anywhere), and the labels
+// slice is copied because a split rebuilds it in place. This is the
+// same work the old rollback snapshot did — COW inverts which copy
+// becomes live, it does not add copies. Group order and version
+// counters are preserved, so conState dependency caches and stamps
+// remain valid across the fork and the incremental descent skips
+// exactly what it would have skipped before.
+func (m *Model) beginCommit() commitRestore {
+	r := commitRestore{groups: m.groups, labels: m.labels}
+	fresh := make([]*Group, len(m.groups))
 	for i, g := range m.groups {
-		out[i] = &Group{
-			Members: g.Members,
-			Count:   g.Count,
-			Mu:      g.Mu.Clone(),
-			Sigma:   g.Sigma,
-			chol:    g.chol,
-			version: g.version,
-		}
+		fresh[i] = g.derive(g.Members, g.Count, g.Mu.Clone())
 	}
-	return out
+	m.groups = fresh
+	m.labels = append([]int32(nil), m.labels...)
+	return r
 }
 
-// rollback restores the pre-commit partition and drops the just-added
-// constraint. The restored groups are fresh objects, so the partition
-// epoch advances to invalidate every index-based cache.
-func (m *Model) rollback(saved []*Group, savedLabels []int32) {
-	m.groups = saved
-	m.labels = savedLabels
+// rollback restores the pre-commit pointers and drops the just-added
+// constraint. The restored groups are the published version's objects
+// while conState caches may have been remapped to the forked
+// partition, so the epoch advances to invalidate every index-based
+// cache.
+func (m *Model) rollback(r commitRestore) {
+	m.groups = r.groups
+	m.labels = r.labels
 	m.cons = m.cons[:len(m.cons)-1]
 	if len(m.conState) > len(m.cons) {
 		m.conState = m.conState[:len(m.cons)]
@@ -641,7 +651,9 @@ func (m *Model) rollback(saved []*Group, savedLabels []int32) {
 // that the subgroup with the given extension has target mean yhat. The
 // model is updated per Theorem 1 and then coordinate descent re-enforces
 // every stored constraint. Commits are transactional: on error the
-// model is left exactly as it was.
+// model is left exactly as it was. The update is built copy-on-write
+// and published atomically, so snapshots taken before or during the
+// commit keep reading the previous version.
 func (m *Model) CommitLocation(ext *bitset.Set, yhat mat.Vec) error {
 	if ext.Count() == 0 {
 		return ErrNoPoints
@@ -649,14 +661,14 @@ func (m *Model) CommitLocation(ext *bitset.Set, yhat mat.Vec) error {
 	if len(yhat) != m.d {
 		return fmt.Errorf("background: location target has dim %d, want %d", len(yhat), m.d)
 	}
-	saved := m.snapshotGroups()
-	savedLabels := append([]int32(nil), m.labels...)
+	restore := m.beginCommit()
 	m.split(ext)
 	m.cons = append(m.cons, &locationConstraint{ext: ext.Clone(), target: yhat.Clone()})
 	if err := m.refit(); err != nil {
-		m.rollback(saved, savedLabels)
+		m.rollback(restore)
 		return err
 	}
+	m.publish()
 	return nil
 }
 
@@ -680,16 +692,16 @@ func (m *Model) CommitSpread(ext *bitset.Set, w mat.Vec, center mat.Vec, value f
 	if math.Abs(nrm-1) > 1e-8 {
 		return fmt.Errorf("background: w must be a unit vector (norm %v)", nrm)
 	}
-	saved := m.snapshotGroups()
-	savedLabels := append([]int32(nil), m.labels...)
+	restore := m.beginCommit()
 	m.split(ext)
 	m.cons = append(m.cons, &spreadConstraint{
 		ext: ext.Clone(), w: w.Clone(), center: center.Clone(), value: value,
 	})
 	if err := m.refit(); err != nil {
-		m.rollback(saved, savedLabels)
+		m.rollback(restore)
 		return err
 	}
+	m.publish()
 	return nil
 }
 
@@ -991,7 +1003,7 @@ func (c *spreadConstraint) apply(m *Model, st *conState) (float64, error) {
 		// Eq. 10: µ ← µ + λ·wᵀ(ŷ_I−µ)·Σw/(1+λs).
 		g.Mu.AddScaled(lambda*gs.b/den, sigs[gs.sig].sigmaW)
 		g.Sigma = updated[gs.sig].sigma
-		g.chol = updated[gs.sig].chol
+		g.chol.Store(updated[gs.sig].chol)
 		g.version++
 	}
 	st.record(m, violation, false)
@@ -1020,19 +1032,5 @@ func (m *Model) PointCov(i int) *mat.Dense {
 // given extension, direction and center:
 // (1/|I|) Σ_{i∈I} [ wᵀΣᵢw + (wᵀ(µᵢ − center))² ].
 func (m *Model) ExpectedSpread(ext *bitset.Set, w, center mat.Vec) (float64, error) {
-	cnt := ext.Count()
-	if cnt == 0 {
-		return 0, ErrNoPoints
-	}
-	var sum float64
-	for _, g := range m.groups {
-		ic := g.Members.IntersectCount(ext)
-		if ic == 0 {
-			continue
-		}
-		s := g.Sigma.QuadForm(w)
-		b := w.Dot(g.Mu.Sub(center))
-		sum += float64(ic) * (s + b*b)
-	}
-	return sum / float64(cnt), nil
+	return expectedSpread(m.groups, ext, w, center)
 }

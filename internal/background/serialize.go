@@ -14,12 +14,18 @@ import (
 // keep committing patterns with full coordinate-descent consistency.
 
 type modelJSON struct {
-	N           int              `json:"n"`
-	D           int              `json:"d"`
-	Tol         float64          `json:"tol"`
-	MaxSweeps   int              `json:"maxSweeps"`
-	Groups      []groupJSON      `json:"groups"`
-	Constraints []constraintJSON `json:"constraints"`
+	N         int     `json:"n"`
+	D         int     `json:"d"`
+	Tol       float64 `json:"tol"`
+	MaxSweeps int     `json:"maxSweeps"`
+	// ModelVersion stamps which published version the snapshot
+	// serialized, so a client holding mine results annotated with
+	// model versions can tell which of them this file reflects.
+	// Absent (0) in files written before versioning; restore derives
+	// the stamp from the constraint count then.
+	ModelVersion uint64           `json:"modelVersion,omitempty"`
+	Groups       []groupJSON      `json:"groups"`
+	Constraints  []constraintJSON `json:"constraints"`
 }
 
 type groupJSON struct {
@@ -38,20 +44,33 @@ type constraintJSON struct {
 }
 
 // SaveJSON serializes the full model state — group parameters and the
-// committed constraint list — so an interactive session can be
-// persisted and resumed.
+// committed constraint list, stamped with the current version — so an
+// interactive session can be persisted and resumed. It reads the live
+// state and therefore belongs to the writer; concurrent contexts
+// serialize a published snapshot via ModelVersion.SaveJSON instead.
 func (m *Model) SaveJSON(w io.Writer) error {
+	return saveJSON(w, m.version, m.n, m.d, m.Tol, m.MaxSweeps, m.groups, m.cons)
+}
+
+// SaveJSON serializes this published version. Safe for concurrent
+// callers: everything reachable from a version is immutable, so the
+// snapshot is consistent even while later commits proceed.
+func (v *ModelVersion) SaveJSON(w io.Writer) error {
+	return saveJSON(w, v.version, v.n, v.d, v.tol, v.maxSweeps, v.groups, v.cons)
+}
+
+func saveJSON(w io.Writer, version uint64, n, d int, tol float64, maxSweeps int, groups []*Group, cons []constraint) error {
 	out := modelJSON{
-		N: m.n, D: m.d, Tol: m.Tol, MaxSweeps: m.MaxSweeps,
+		N: n, D: d, Tol: tol, MaxSweeps: maxSweeps, ModelVersion: version,
 	}
-	for _, g := range m.groups {
+	for _, g := range groups {
 		out.Groups = append(out.Groups, groupJSON{
 			Members: g.Members.Indices(),
 			Mu:      g.Mu,
 			Sigma:   g.Sigma.Data,
 		})
 	}
-	for _, c := range m.cons {
+	for _, c := range cons {
 		switch c := c.(type) {
 		case *locationConstraint:
 			out.Constraints = append(out.Constraints, constraintJSON{
@@ -142,7 +161,7 @@ func loadJSON(r io.Reader, replay bool) (*Model, error) {
 		for _, have := range distinct {
 			if have.Sigma.MaxAbsDiff(sigma) == 0 {
 				grp.Sigma = have.Sigma
-				grp.chol = have.chol
+				grp.chol.Store(have.chol.Load())
 				break
 			}
 		}
@@ -152,7 +171,7 @@ func loadJSON(r io.Reader, replay bool) (*Model, error) {
 				return nil, fmt.Errorf("background: group %d covariance not SPD: %w", gi, err)
 			}
 			grp.Sigma = sigma
-			grp.chol = chol
+			grp.chol.Store(chol)
 			distinct = append(distinct, grp)
 		}
 		m.groups = append(m.groups, grp)
@@ -191,5 +210,13 @@ func loadJSON(r io.Reader, replay bool) (*Model, error) {
 			return nil, err
 		}
 	}
+	// Restore the version stamp; files from before versioning carry no
+	// stamp, so derive it from the commit count (stamps start at 1 and
+	// advance by one per commit).
+	m.version = in.ModelVersion
+	if m.version == 0 {
+		m.version = 1 + uint64(len(m.cons))
+	}
+	m.publishCurrent()
 	return m, nil
 }

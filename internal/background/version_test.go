@@ -1,0 +1,193 @@
+package background
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/mat"
+)
+
+// A published version is frozen: commits that land after Snapshot must
+// not change anything observable through it, and re-serializing it must
+// yield the same bytes.
+func TestSnapshotImmutableUnderCommit(t *testing.T) {
+	m := newModel(t, 100, 2)
+	v1 := m.Snapshot()
+	if v1 == nil || v1.Version() != 1 {
+		t.Fatalf("fresh model publishes version 1, got %+v", v1)
+	}
+	var before bytes.Buffer
+	if err := v1.SaveJSON(&before); err != nil {
+		t.Fatal(err)
+	}
+	ext := bitset.FromIndices(100, seq(0, 30))
+	if err := m.CommitLocation(ext, mat.Vec{2.5, -1}); err != nil {
+		t.Fatalf("CommitLocation: %v", err)
+	}
+	v2 := m.Snapshot()
+	if v2.Version() != v1.Version()+1 {
+		t.Fatalf("commit published version %d, want %d", v2.Version(), v1.Version()+1)
+	}
+	if v1.NumConstraints() != 0 || v2.NumConstraints() != 1 {
+		t.Fatalf("constraint counts: v1=%d v2=%d", v1.NumConstraints(), v2.NumConstraints())
+	}
+	var after bytes.Buffer
+	if err := v1.SaveJSON(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("serializing the old version changed after a commit")
+	}
+	// The old version still answers with the prior belief state.
+	muOld, _, err := v1.SubgroupMeanMarginal(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if muOld.Norm() > 1e-12 {
+		t.Fatalf("old version sees the committed mean: %v", muOld)
+	}
+	muNew, _, err := v2.SubgroupMeanMarginal(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if muNew[0] < 2 {
+		t.Fatalf("new version missed the commit: %v", muNew)
+	}
+}
+
+// A failed commit (deadline back-pressure) publishes nothing: the
+// version stamp and the published snapshot are untouched.
+func TestFailedCommitPublishesNothing(t *testing.T) {
+	m := newModel(t, 80, 2)
+	v1 := m.Snapshot()
+	m.Deadline = time.Now().Add(-time.Second)
+	err := m.CommitLocation(bitset.FromIndices(80, seq(0, 20)), mat.Vec{1, 1})
+	if err == nil {
+		t.Fatal("expired deadline should fail the commit")
+	}
+	m.Deadline = time.Time{}
+	if got := m.Snapshot(); got != v1 {
+		t.Fatalf("failed commit replaced the published version: %d -> %d",
+			v1.Version(), got.Version())
+	}
+	// The model still works: the same commit succeeds without the
+	// deadline, building on the rolled-back state.
+	if err := m.CommitLocation(bitset.FromIndices(80, seq(0, 20)), mat.Vec{1, 1}); err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	if got := m.Snapshot().Version(); got != v1.Version()+1 {
+		t.Fatalf("version after rollback+retry = %d, want %d", got, v1.Version()+1)
+	}
+}
+
+// Readers pinned to a version race a stream of commits; run under
+// -race this pins the lock-free snapshot contract, and the value
+// checks pin that reads through an old version stay byte-stable.
+func TestConcurrentReadersUnderCommits(t *testing.T) {
+	m := newModel(t, 200, 3)
+	ext := bitset.FromIndices(200, seq(0, 50))
+	w := unit(3, 0)
+	v := m.Snapshot()
+	refMu, _, err := v.SubgroupMeanMarginal(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSpread, err := v.ExpectedSpread(ext, w, refMu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refJSON bytes.Buffer
+	if err := v.SaveJSON(&refJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu, _, err := v.SubgroupMeanMarginal(ext)
+				if err != nil {
+					t.Errorf("SubgroupMeanMarginal: %v", err)
+					return
+				}
+				for j := range mu {
+					if mu[j] != refMu[j] {
+						t.Errorf("pinned mean drifted: %v vs %v", mu, refMu)
+						return
+					}
+				}
+				sp, err := v.ExpectedSpread(ext, w, refMu)
+				if err != nil || sp != refSpread {
+					t.Errorf("pinned spread drifted: %v (err %v) vs %v", sp, err, refSpread)
+					return
+				}
+				var buf bytes.Buffer
+				if err := v.SaveJSON(&buf); err != nil || !bytes.Equal(buf.Bytes(), refJSON.Bytes()) {
+					t.Errorf("pinned serialization drifted (err %v)", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		lo := (i * 25) % 150
+		cext := bitset.FromIndices(200, seq(lo, lo+20))
+		if err := m.CommitLocation(cext, mat.Vec{0.5, -0.5, 0.25}); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := m.Snapshot().Version(); got != 7 {
+		t.Fatalf("version after 6 commits = %d, want 7", got)
+	}
+}
+
+// A fork of a version replays a commit to the exact same state the
+// live model reaches — the basis of the server's spread preview.
+func TestForkCommitMatchesLive(t *testing.T) {
+	live := newModel(t, 120, 2)
+	seed := bitset.FromIndices(120, seq(0, 40))
+	if err := live.CommitLocation(seed, mat.Vec{1, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	v := live.Snapshot()
+	fork := v.Fork()
+	if fork.Version() != v.Version() {
+		t.Fatalf("fork version %d, want %d", fork.Version(), v.Version())
+	}
+
+	next := bitset.FromIndices(120, seq(60, 90))
+	target := mat.Vec{-0.75, 2}
+	if err := fork.CommitLocation(next, target); err != nil {
+		t.Fatalf("fork commit: %v", err)
+	}
+	if err := live.CommitLocation(next, target); err != nil {
+		t.Fatalf("live commit: %v", err)
+	}
+	var fb, lb bytes.Buffer
+	if err := fork.SaveJSON(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.SaveJSON(&lb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fb.Bytes(), lb.Bytes()) {
+		t.Fatal("fork and live models diverged after the same commit")
+	}
+	// The source version is untouched by the fork's commit.
+	if v.NumConstraints() != 1 {
+		t.Fatalf("fork commit leaked into the source version: %d constraints", v.NumConstraints())
+	}
+}

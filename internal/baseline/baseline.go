@@ -252,7 +252,7 @@ func ExhaustiveImpact(ds *dataset.Dataset, j, maxDepth, numSplits, minSupport in
 // RandomSubgroupSI estimates the SI a "meaningless" subgroup of the
 // given size achieves under the model — the baseline curve of Fig. 3 —
 // by averaging the location SI of `repeats` uniformly drawn extensions.
-func RandomSubgroupSI(m *background.Model, y *mat.Dense, size, repeats int, p si.Params, seed int64) float64 {
+func RandomSubgroupSI(m background.Reader, y *mat.Dense, size, repeats int, p si.Params, seed int64) float64 {
 	src := randx.New(seed)
 	n := y.R
 	var total float64

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/background"
 	"repro/internal/dataset"
@@ -58,12 +60,23 @@ func (c Config) withDefaults() Config {
 }
 
 // Miner is the iterative subgroup discovery engine.
+//
+// Concurrency: the mutating methods (Commit*, Step, Reset, Restore)
+// belong to a single writer, but any number of goroutines may mine
+// concurrently with that writer by pinning a published model version:
+// Snapshot returns the current immutable *background.ModelVersion and
+// the *At methods (MineAt, MineSpreadAt, ExplainLocationAt, ForkAt)
+// evaluate against the version they are given, never touching the
+// live model. A mine against a version is byte-identical regardless
+// of concurrent commits.
 type Miner struct {
 	DS    *dataset.Dataset
 	Model *background.Model
 	Cfg   Config
 
-	iteration int
+	// iteration counts committed mining iterations; atomic so Iteration
+	// stays readable while a commit is in flight on the writer.
+	iteration atomic.Int64
 }
 
 // ErrNoPattern is returned when the search yields no scoreable pattern.
@@ -103,8 +116,14 @@ func NewMiner(ds *dataset.Dataset, cfg Config) (*Miner, error) {
 	return &Miner{DS: ds, Model: model, Cfg: cfg}, nil
 }
 
-// Iteration returns the number of committed mining iterations.
-func (m *Miner) Iteration() int { return m.iteration }
+// Iteration returns the number of committed mining iterations. Safe
+// for concurrent callers.
+func (m *Miner) Iteration() int { return int(m.iteration.Load()) }
+
+// Snapshot returns the most recently published immutable version of
+// the miner's background model. Safe for concurrent callers; pass the
+// result to the *At methods to mine against a pinned belief state.
+func (m *Miner) Snapshot() *background.ModelVersion { return m.Model.Snapshot() }
 
 // Reset discards every committed pattern and restores the initial
 // belief state (the same prior the miner was constructed with), so an
@@ -115,7 +134,7 @@ func (m *Miner) Reset() error {
 		return err
 	}
 	m.Model = fresh.Model
-	m.iteration = 0
+	m.iteration.Store(0)
 	return nil
 }
 
@@ -133,21 +152,55 @@ func (m *Miner) Restore(model *background.Model, iteration int) error {
 		return fmt.Errorf("core: negative iteration count %d", iteration)
 	}
 	m.Model = model
-	m.iteration = iteration
+	m.iteration.Store(int64(iteration))
 	return nil
 }
 
-// MineLocation runs the beam search under the current background model
-// and returns the best location pattern plus the full search log
-// (top-K patterns, the paper logs 150). On ErrNoPattern the log is
-// still returned so callers can distinguish an exhausted search from
-// one whose deadline expired before anything was scored.
+// ForkAt returns an independent miner whose belief state starts at
+// exactly the given version — the what-if primitive behind spread
+// previews: commit speculatively on the fork, evaluate, discard. The
+// fork shares the dataset and config; its model is a copy-on-write
+// fork of v, so building it is cheap and the source miner is never
+// affected.
+func (m *Miner) ForkAt(v *background.ModelVersion) *Miner {
+	fm := &Miner{DS: m.DS, Model: v.Fork(), Cfg: m.Cfg}
+	fm.iteration.Store(m.iteration.Load())
+	return fm
+}
+
+// MineOptions tune one mining call without touching the miner's
+// shared Config — the per-call knobs a server thread needs when many
+// mines share one miner.
+type MineOptions struct {
+	// Deadline, when non-zero, overrides Cfg.Search.Deadline for this
+	// call only.
+	Deadline time.Time
+}
+
+// MineLocation runs the beam search under the most recently published
+// background model version and returns the best location pattern plus
+// the full search log (top-K patterns, the paper logs 150). On
+// ErrNoPattern the log is still returned so callers can distinguish an
+// exhausted search from one whose deadline expired before anything was
+// scored.
 func (m *Miner) MineLocation() (*pattern.Location, *search.Results, error) {
-	scorer, err := si.NewLocationScorer(m.Model, m.DS.Y, m.Cfg.SI)
+	return m.MineAt(m.Snapshot(), MineOptions{})
+}
+
+// MineAt is MineLocation against a pinned model version: the search
+// reads only v, so it runs lock-free and byte-identically regardless
+// of commits happening concurrently on the live model. Safe for any
+// number of concurrent callers.
+func (m *Miner) MineAt(v *background.ModelVersion, opt MineOptions) (*pattern.Location, *search.Results, error) {
+	scorer, err := si.NewLocationScorer(v, m.DS.Y, m.Cfg.SI)
 	if err != nil {
 		return nil, nil, err
 	}
-	res := search.Beam(m.DS, scorer, m.Cfg.Search)
+	params := m.Cfg.Search
+	if !opt.Deadline.IsZero() {
+		params.Deadline = opt.Deadline
+	}
+	res := search.Beam(m.DS, scorer, params)
 	top := res.Top()
 	if top == nil {
 		return nil, res, ErrNoPattern
@@ -195,7 +248,7 @@ func (m *Miner) CommitLocation(loc *pattern.Location) error {
 	if err := m.Model.CommitLocation(loc.Extension, loc.Mean); err != nil {
 		return err
 	}
-	m.iteration++
+	m.iteration.Add(1)
 	return nil
 }
 
@@ -215,14 +268,25 @@ func (m *Miner) MineSpread(loc *pattern.Location) (*pattern.Spread, error) {
 // optimizer then degrades to best-so-far, reported via timedOut,
 // instead of blowing the caller's mine budget.
 func (m *Miner) MineSpreadBudget(loc *pattern.Location) (sp *pattern.Spread, timedOut bool, err error) {
+	return m.mineSpread(m.Model, loc, m.Model.Deadline)
+}
+
+// MineSpreadAt is MineSpread against a pinned model version, for
+// callers running concurrently with commits. opt.Deadline bounds the
+// direction search the way Model.Deadline does on the live path.
+func (m *Miner) MineSpreadAt(v *background.ModelVersion, loc *pattern.Location, opt MineOptions) (sp *pattern.Spread, timedOut bool, err error) {
+	return m.mineSpread(v, loc, opt.Deadline)
+}
+
+func (m *Miner) mineSpread(r background.Reader, loc *pattern.Location, deadline time.Time) (sp *pattern.Spread, timedOut bool, err error) {
 	p := m.Cfg.Spread
 	if p.Parallelism <= 0 {
 		p.Parallelism = m.Cfg.Search.Parallelism
 	}
 	if p.Deadline.IsZero() {
-		p.Deadline = m.Model.Deadline
+		p.Deadline = deadline
 	}
-	res, err := spreadopt.Optimize(m.Model, m.DS.Y, loc.Extension, loc.Mean,
+	res, err := spreadopt.Optimize(r, m.DS.Y, loc.Extension, loc.Mean,
 		len(loc.Intention), m.Cfg.SI, p)
 	if err != nil {
 		return nil, false, err
@@ -295,7 +359,17 @@ type AttrExplanation struct {
 // how surprising their subgroup mean is under the current background
 // model (most surprising first).
 func (m *Miner) ExplainLocation(loc *pattern.Location) ([]AttrExplanation, error) {
-	muI, covI, err := m.Model.SubgroupMeanMarginal(loc.Extension)
+	return m.explainLocation(m.Model, loc)
+}
+
+// ExplainLocationAt is ExplainLocation against a pinned model version,
+// safe for callers running concurrently with commits.
+func (m *Miner) ExplainLocationAt(v *background.ModelVersion, loc *pattern.Location) ([]AttrExplanation, error) {
+	return m.explainLocation(v, loc)
+}
+
+func (m *Miner) explainLocation(r background.Reader, loc *pattern.Location) ([]AttrExplanation, error) {
+	muI, covI, err := r.SubgroupMeanMarginal(loc.Extension)
 	if err != nil {
 		return nil, err
 	}

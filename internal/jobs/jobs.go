@@ -71,6 +71,15 @@ type Job struct {
 	cancel  context.CancelFunc // non-nil while running
 	fn      Fn
 	done    chan struct{} // closed on reaching a terminal state
+
+	// cancelReq is closed the moment cancellation is requested —
+	// before the Fn has noticed its context and unwound. Watchers that
+	// hold resources on a job's behalf (the server's session mine
+	// slots) select on it to release immediately instead of waiting
+	// out the Fn's next cancellation check.
+	cancelReq    chan struct{}
+	cancelOnce   bool // cancelReq closed; guarded by mu
+	modelVersion uint64
 }
 
 // Info is the externally visible snapshot of a job, JSON-ready.
@@ -86,6 +95,9 @@ type Info struct {
 	// DurationMS is wall time from start to finish (or to now while
 	// running), in milliseconds.
 	DurationMS int64 `json:"durationMs,omitempty"`
+	// ModelVersion is the background-model version the job ran against,
+	// when the job recorded one (see RecordModelVersion); 0 otherwise.
+	ModelVersion uint64 `json:"modelVersion,omitempty"`
 	// Result is the job's return value once Status is done.
 	Result any `json:"result,omitempty"`
 }
@@ -94,13 +106,14 @@ func (j *Job) snapshot() Info {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	inf := Info{
-		ID:      j.id,
-		Label:   j.label,
-		Status:  j.status,
-		Note:    j.note,
-		Error:   j.errMsg,
-		Created: j.created,
-		Result:  j.result,
+		ID:           j.id,
+		Label:        j.label,
+		Status:       j.status,
+		Note:         j.note,
+		Error:        j.errMsg,
+		Created:      j.created,
+		ModelVersion: j.modelVersion,
+		Result:       j.result,
 	}
 	if !j.started.IsZero() {
 		s := j.started
@@ -123,6 +136,40 @@ func (j *Job) ID() string { return j.id }
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// CancelRequested returns a channel closed as soon as cancellation is
+// requested (Cancel or pool Close), which for a running job is before
+// the Fn notices its cancelled context and the job reaches a terminal
+// state. A queued job cancelled before starting closes Done and this
+// channel together.
+func (j *Job) CancelRequested() <-chan struct{} { return j.cancelReq }
+
+// requestCancel closes cancelReq exactly once.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	if !j.cancelOnce {
+		j.cancelOnce = true
+		close(j.cancelReq)
+	}
+	j.mu.Unlock()
+}
+
+// ctxKey carries the *Job through its Fn's context.
+type ctxKey struct{}
+
+// RecordModelVersion annotates the job running under ctx with the
+// background-model version it is reading, surfacing it in the job's
+// Info (and the serving layer's job responses). No-op when ctx does
+// not belong to a pool job.
+func RecordModelVersion(ctx context.Context, version uint64) {
+	j, _ := ctx.Value(ctxKey{}).(*Job)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.modelVersion = version
+	j.mu.Unlock()
+}
 
 // Pool runs submitted jobs on a fixed set of workers.
 type Pool struct {
@@ -194,7 +241,7 @@ func (p *Pool) Close() {
 	// Cancel queued jobs before closing the channel: workers skip
 	// terminal jobs, so nothing still pending ever starts. Running jobs
 	// get their contexts cancelled and unwind at their own pace.
-	var queued []*Job
+	var queued, running []*Job
 	var cancels []context.CancelFunc
 	for _, j := range p.jobs {
 		j.mu.Lock()
@@ -202,6 +249,7 @@ func (p *Pool) Close() {
 		case StatusQueued:
 			queued = append(queued, j)
 		case StatusRunning:
+			running = append(running, j)
 			if j.cancel != nil {
 				cancels = append(cancels, j.cancel)
 			}
@@ -210,7 +258,11 @@ func (p *Pool) Close() {
 	}
 	p.mu.Unlock()
 	for _, j := range queued {
+		j.requestCancel()
 		j.finish(StatusCancelled, nil, "pool closed")
+	}
+	for _, j := range running {
+		j.requestCancel()
 	}
 	for _, c := range cancels {
 		c()
@@ -230,13 +282,14 @@ func (p *Pool) Submit(label string, timeout time.Duration, fn Fn) (*Job, error) 
 	}
 	p.nextID++
 	j := &Job{
-		id:      fmt.Sprintf("j%06d", p.nextID),
-		label:   label,
-		status:  StatusQueued,
-		created: time.Now(),
-		timeout: timeout,
-		fn:      fn,
-		done:    make(chan struct{}),
+		id:        fmt.Sprintf("j%06d", p.nextID),
+		label:     label,
+		status:    StatusQueued,
+		created:   time.Now(),
+		timeout:   timeout,
+		fn:        fn,
+		done:      make(chan struct{}),
+		cancelReq: make(chan struct{}),
 	}
 	// The non-blocking send happens under p.mu: Close sets closed and
 	// closes the channel only after this critical section, so Submit can
@@ -267,7 +320,7 @@ func (p *Pool) run(j *Job) {
 		j.mu.Unlock()
 		return
 	}
-	ctx := context.Background()
+	ctx := context.WithValue(context.Background(), ctxKey{}, j)
 	var cancel context.CancelFunc
 	if j.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, j.timeout)
@@ -355,10 +408,12 @@ func (p *Pool) Cancel(id string) (Info, bool) {
 	switch j.status {
 	case StatusQueued:
 		j.mu.Unlock()
+		j.requestCancel()
 		j.finish(StatusCancelled, nil, "cancelled while queued")
 	case StatusRunning:
 		cancel := j.cancel
 		j.mu.Unlock()
+		j.requestCancel()
 		if cancel != nil {
 			cancel()
 		}

@@ -18,20 +18,33 @@
 // server process sharing the store does not lose belief state. An LRU
 // cap and an idle TTL bound the number of live in-memory sessions.
 //
-// Endpoints (all JSON):
+// The API is versioned: /api/v1/... is the current surface, with a
+// uniform error envelope {"error":{"code","message","retryAfterMs?"}}
+// and modelVersion stamps on mine/commit/job responses. The same
+// routes stay mounted under the original /api/... prefix as deprecated
+// aliases with the legacy flat {"error":"message"} body and the legacy
+// one-mine-at-a-time session semantics. Under /api/v1 a session
+// accepts any number of concurrent mines while commits proceed: each
+// mine pins the immutable background-model version published at its
+// start (copy-on-write — see internal/background.ModelVersion), so
+// mines never serialize behind a commit and report which belief state
+// they reflect.
 //
-//	POST   /api/sessions                  create (builtin dataset or inline CSV)
-//	GET    /api/sessions                  list sessions (live + persisted)
-//	DELETE /api/sessions/{id}             drop a session (memory and store)
-//	POST   /api/sessions/{id}/mine        mine the next pattern (async: poll the job)
-//	POST   /api/sessions/{id}/commit      commit the pending pattern(s)
-//	GET    /api/sessions/{id}/explain     per-target surprise of the pending pattern
-//	GET    /api/sessions/{id}/history     committed patterns so far
-//	GET    /api/sessions/{id}/model       export the background model JSON
-//	POST   /api/sessions/{id}/snapshot    persist the session to the store now
-//	GET    /api/jobs                      list mine jobs
-//	GET    /api/jobs/{id}[?waitMs=N]      job status/result, optionally long-polled
-//	DELETE /api/jobs/{id}                 cancel a queued or running job
+// Endpoints (all JSON, shown under the /api/v1 prefix; /api aliases
+// are identical modulo the deprecated behaviors above):
+//
+//	POST   /api/v1/sessions                  create (builtin dataset or inline CSV)
+//	GET    /api/v1/sessions                  list sessions (live + persisted)
+//	DELETE /api/v1/sessions/{id}             drop a session (memory and store)
+//	POST   /api/v1/sessions/{id}/mine        mine the next pattern (async: poll the job)
+//	POST   /api/v1/sessions/{id}/commit      commit the pending pattern(s)
+//	GET    /api/v1/sessions/{id}/explain     per-target surprise of the pending pattern
+//	GET    /api/v1/sessions/{id}/history     committed patterns so far
+//	GET    /api/v1/sessions/{id}/model       export the background model JSON
+//	POST   /api/v1/sessions/{id}/snapshot    persist the session to the store now
+//	GET    /api/v1/jobs                      list mine jobs
+//	GET    /api/v1/jobs/{id}[?waitMs=N]      job status/result, optionally long-polled
+//	DELETE /api/v1/jobs/{id}                 cancel a queued or running job
 package server
 
 import (
@@ -146,11 +159,19 @@ type session struct {
 	// snapshot can rebuild the dataset and miner deterministically.
 	create CreateRequest
 
+	// commitMu serializes model writers (commit, snapshot/persist) for
+	// one session. It is acquired before sess.mu where both are needed
+	// (lock order: commitMu → sess.mu) and is never held while waiting
+	// on a mine: mines run against published model versions and take
+	// neither lock. Store Puts for a session happen under commitMu, so
+	// a stale snapshot can never overwrite a fresh one.
+	commitMu sync.Mutex
+
 	mu            sync.Mutex
 	miner         *core.Miner
 	mineTimeout   time.Duration // per-mine search budget (0 = none)
 	closed        bool          // deleted or evicted; blocks queued requests
-	mining        bool          // a mine job is queued or running
+	mines         int           // mine jobs queued or running
 	pendingLoc    *pattern.Location
 	pendingSpread *pattern.Spread
 	history       []PatternJSON
@@ -168,27 +189,30 @@ func (sess *session) touch() { sess.lastUsed.Store(time.Now().UnixNano()) }
 // (or an eviction) removed it from the map would otherwise run after
 // the teardown — and a mine would re-pin the evicted condition language
 // of a dead dataset.
-func (sess *session) lockOpen(w http.ResponseWriter) bool {
+func (sess *session) lockOpen(w http.ResponseWriter, r *http.Request) bool {
 	sess.mu.Lock()
 	if sess.closed {
 		sess.mu.Unlock()
-		writeErr(w, http.StatusNotFound, "session deleted")
+		writeError(w, r, http.StatusNotFound, errNotFound, 0, "session deleted")
 		return false
 	}
 	return true
 }
 
-// lockIdle is lockOpen plus a guard against an in-flight mine: handlers
-// that read or write the background model (commit, explain, model
-// export, snapshot) must not overlap a search that is reading it on a
-// pool worker.
-func (sess *session) lockIdle(w http.ResponseWriter) bool {
-	if !sess.lockOpen(w) {
+// lockIdle is lockOpen plus the legacy-API guard against an in-flight
+// mine: the deprecated /api surface promises one mine at a time per
+// session, with commit/explain/model/snapshot 409ing while it runs.
+// Under /api/v1 those handlers operate on published model versions (or
+// serialize on commitMu), so they proceed concurrently with any number
+// of mines and this reduces to lockOpen.
+func (sess *session) lockIdle(w http.ResponseWriter, r *http.Request) bool {
+	if !sess.lockOpen(w, r) {
 		return false
 	}
-	if sess.mining {
+	if !isV1(r) && sess.mines > 0 {
 		sess.mu.Unlock()
-		writeErr(w, http.StatusConflict, "mine in progress; retry when the job finishes")
+		writeError(w, r, http.StatusConflict, errMineInProgress, time.Second,
+			"mine in progress; retry when the job finishes")
 		return false
 	}
 	return true
@@ -245,22 +269,32 @@ func parseSessionID(id string) (int, bool) {
 // Close stops the worker pool, cancelling queued and running jobs.
 func (s *Server) Close() { s.pool.Close() }
 
-// Handler returns the API routes.
+// Handler returns the API routes, mounted twice: /api/v1 is the
+// current surface, /api the deprecated alias kept for older clients
+// (flat error bodies, one mine at a time per session).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/sessions", s.handleCreate)
-	mux.HandleFunc("GET /api/sessions", s.handleList)
-	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDelete)
-	mux.HandleFunc("POST /api/sessions/{id}/mine", s.handleMine)
-	mux.HandleFunc("POST /api/sessions/{id}/commit", s.handleCommit)
-	mux.HandleFunc("GET /api/sessions/{id}/explain", s.handleExplain)
-	mux.HandleFunc("GET /api/sessions/{id}/history", s.handleHistory)
-	mux.HandleFunc("GET /api/sessions/{id}/model", s.handleModel)
-	mux.HandleFunc("POST /api/sessions/{id}/snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /api/jobs", s.handleJobList)
-	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleJobCancel)
+	s.routes(mux, "/api/v1")
+	s.routes(mux, "/api") // deprecated alias
 	return mux
+}
+
+// routes registers every endpoint under one prefix. All route
+// registration goes through this function (cmd/apicheck enforces it)
+// so the versioned mounts cannot drift apart.
+func (s *Server) routes(mux *http.ServeMux, prefix string) {
+	mux.HandleFunc("POST "+prefix+"/sessions", s.handleCreate)
+	mux.HandleFunc("GET "+prefix+"/sessions", s.handleList)
+	mux.HandleFunc("DELETE "+prefix+"/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST "+prefix+"/sessions/{id}/mine", s.handleMine)
+	mux.HandleFunc("POST "+prefix+"/sessions/{id}/commit", s.handleCommit)
+	mux.HandleFunc("GET "+prefix+"/sessions/{id}/explain", s.handleExplain)
+	mux.HandleFunc("GET "+prefix+"/sessions/{id}/history", s.handleHistory)
+	mux.HandleFunc("GET "+prefix+"/sessions/{id}/model", s.handleModel)
+	mux.HandleFunc("POST "+prefix+"/sessions/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET "+prefix+"/jobs", s.handleJobList)
+	mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.handleJobCancel)
 }
 
 // CreateRequest configures a new session.
@@ -358,6 +392,11 @@ type MineResponse struct {
 	TimedOut bool `json:"timedOut,omitempty"`
 	// Job is the id of the mine job that produced this response.
 	Job string `json:"job,omitempty"`
+	// ModelVersion is the published background-model version the search
+	// ran against. A mine is deterministic given its model version: the
+	// same session state at the same version yields byte-identical
+	// results regardless of commits that landed while it ran.
+	ModelVersion uint64 `json:"modelVersion,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -366,8 +405,49 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// Error codes carried in the /api/v1 error envelope. Codes are part of
+// the API contract: clients dispatch on them, messages are for humans.
+const (
+	errBadRequest     = "bad_request"
+	errNotFound       = "not_found"
+	errMineInProgress = "mine_in_progress"
+	errNothingPending = "nothing_pending"
+	errQueueFull      = "queue_full"
+	errDeadline       = "deadline"
+	errCancelled      = "cancelled"
+	errInternal       = "internal"
+)
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMs, when present, is the server's hint for how long to
+	// back off before retrying (503s and transient 409s).
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
+}
+
+// isV1 reports whether the request came in through the current
+// /api/v1 mount (as opposed to the deprecated /api alias).
+func isV1(r *http.Request) bool {
+	return r != nil && strings.HasPrefix(r.URL.Path, "/api/v1/")
+}
+
+// writeError is the single error-response writer (cmd/apicheck fails
+// the build if a handler bypasses it): /api/v1 requests get the
+// structured envelope {"error":{"code","message","retryAfterMs?"}},
+// legacy /api requests keep the flat {"error":"message"} body older
+// clients parse.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code string, retryAfter time.Duration, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if !isV1(r) {
+		writeJSON(w, status, map[string]string{"error": msg})
+		return
+	}
+	body := errorBody{Code: code, Message: msg}
+	if retryAfter > 0 {
+		body.RetryAfterMs = retryAfter.Milliseconds()
+	}
+	writeJSON(w, status, map[string]errorBody{"error": body})
 }
 
 func buildDataset(req *CreateRequest) (*dataset.Dataset, error) {
@@ -457,12 +537,12 @@ func newSession(req *CreateRequest) (*session, error) {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		writeError(w, r, http.StatusBadRequest, errBadRequest, 0, "invalid JSON: %v", err)
 		return
 	}
 	sess, err := newSession(&req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, errBadRequest, 0, "%v", err)
 		return
 	}
 	s.mu.Lock()
@@ -578,16 +658,19 @@ func (s *Server) maybeSweep() {
 
 // persist snapshots the session to the store; best-effort, reports
 // success. Skips closed sessions (their teardown owns the store
-// entry). sess.mu is held across the Put — the discipline every
+// entry). commitMu is held across the Put — the discipline every
 // persist path shares, so snapshots of one session are serialized and
 // a stale one can never overwrite a fresh one.
 func (s *Server) persist(sess *session) bool {
+	sess.commitMu.Lock()
+	defer sess.commitMu.Unlock()
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
 	if sess.closed {
+		sess.mu.Unlock()
 		return false
 	}
 	snap, err := sess.snapshotLocked()
+	sess.mu.Unlock()
 	if err != nil {
 		return false
 	}
@@ -595,11 +678,16 @@ func (s *Server) persist(sess *session) bool {
 }
 
 // snapshotLocked serializes the session's durable state. Caller holds
-// sess.mu. Pending (uncommitted) patterns are ephemeral by design and
-// not part of the snapshot.
+// sess.mu (for history/iterations consistency) and, on every path that
+// goes on to Put, commitMu (so the published version, history and
+// iteration count belong to the same commit). The model itself is read
+// from the published version — immutable, so serialization is safe
+// even while a later commit builds its successor. Pending
+// (uncommitted) patterns are ephemeral by design and not part of the
+// snapshot.
 func (sess *session) snapshotLocked() (*Snapshot, error) {
 	var buf bytes.Buffer
-	if err := sess.miner.Model.SaveJSON(&buf); err != nil {
+	if err := sess.miner.Snapshot().SaveJSON(&buf); err != nil {
 		return nil, err
 	}
 	return &Snapshot{
@@ -663,14 +751,19 @@ func (s *Server) enforceCaps() {
 // tryEvict snapshots one session to the store and removes it from
 // memory. Eviction drops pending (uncommitted) patterns — they are
 // ephemeral — but never loses committed belief state: the session is
-// closed only once the store accepted the snapshot, and sess.mu is
-// held across the Put so a concurrent commit (which persists under the
-// same lock) can neither interleave nor be overwritten by a stale
-// snapshot. Lock order here is sess.mu → s.mu; no path nests them the
-// other way around.
+// closed only once the store accepted the snapshot; commitMu (try-
+// locked, so a sweep never stalls behind a long refit) keeps a
+// concurrent commit from interleaving its Put, and sess.mu is held
+// from the mines==0 check through closed=true so no mine can claim a
+// slot in between. Lock order here is commitMu → sess.mu → s.mu; no
+// path nests them the other way around.
 func (s *Server) tryEvict(sess *session) bool {
+	if !sess.commitMu.TryLock() {
+		return false
+	}
+	defer sess.commitMu.Unlock()
 	sess.mu.Lock()
-	if sess.closed || sess.mining {
+	if sess.closed || sess.mines > 0 {
 		sess.mu.Unlock()
 		return false
 	}
@@ -750,12 +843,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		// session; datasets are per-session, so nobody else can be using
 		// it. Marking the session closed stops requests still queued on
 		// the lock from rebuilding and re-pinning the language after the
-		// eviction; if a mine job is in flight, its completion watcher
-		// performs the eviction instead (an in-flight search keeps its
-		// own reference, so dropping the cache entry is safe either way).
+		// eviction; if mine jobs are in flight, the watcher of the last
+		// one to drain performs the eviction instead (an in-flight search
+		// keeps its own reference, so dropping the cache entry is safe
+		// either way).
 		sess.mu.Lock()
 		sess.closed = true
-		mining := sess.mining
+		mining := sess.mines > 0
 		sess.mu.Unlock()
 		if !mining {
 			engine.EvictLanguage(sess.miner.DS)
@@ -768,12 +862,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	// tombstone expires.
 	hadSnapshot, delErr := s.store.Delete(id)
 	if delErr != nil {
-		writeErr(w, http.StatusInternalServerError,
+		writeError(w, r, http.StatusInternalServerError, errInternal, 0,
 			"session removed from memory but snapshot deletion failed: %v", delErr)
 		return
 	}
 	if !ok && !hadSnapshot {
-		writeErr(w, http.StatusNotFound, "no session %q", id)
+		writeError(w, r, http.StatusNotFound, errNotFound, 0, "no session %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
@@ -784,12 +878,13 @@ func (s *Server) withSession(w http.ResponseWriter, r *http.Request) *session {
 	sess, err := s.lookup(id)
 	switch {
 	case errors.Is(err, ErrNotFound):
-		writeErr(w, http.StatusNotFound, "no session %q", id)
+		writeError(w, r, http.StatusNotFound, errNotFound, 0, "no session %q", id)
 		return nil
 	case err != nil:
 		// A snapshot exists but could not be restored — surface the
 		// cause instead of a misleading 404.
-		writeErr(w, http.StatusInternalServerError, "restoring session %q: %v", id, err)
+		writeError(w, r, http.StatusInternalServerError, errInternal, 0,
+			"restoring session %q: %v", id, err)
 		return nil
 	}
 	return sess
@@ -833,23 +928,26 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	var req MineRequest
 	if r.ContentLength > 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, "invalid JSON: %v", err)
+			writeError(w, r, http.StatusBadRequest, errBadRequest, 0, "invalid JSON: %v", err)
 			return
 		}
 	}
-	// Claim the session's single mine slot under the lock, then run the
-	// search on a pool worker with no session lock held — concurrent
-	// sessions never serialize behind one search, and list/history stay
-	// responsive during a long mine.
-	if !sess.lockOpen(w) {
+	// Claim a mine slot under the lock, then run the search on a pool
+	// worker with no session lock held — concurrent sessions never
+	// serialize behind one search, and list/history stay responsive
+	// during a long mine. The legacy /api surface allows one slot per
+	// session; /api/v1 allows any number, since every mine runs against
+	// the immutable model version published at its start.
+	if !sess.lockOpen(w, r) {
 		return
 	}
-	if sess.mining {
+	if !isV1(r) && sess.mines > 0 {
 		sess.mu.Unlock()
-		writeErr(w, http.StatusConflict, "mine already in progress for this session")
+		writeError(w, r, http.StatusConflict, errMineInProgress, time.Second,
+			"mine already in progress for this session")
 		return
 	}
-	sess.mining = true
+	sess.mines++
 	budget := sess.mineTimeout
 	if req.TimeoutMS > 0 {
 		budget = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -862,23 +960,22 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 
 	job, err := s.pool.Submit("mine "+sess.id, budget, s.mineJob(sess, req))
 	if err != nil {
-		sess.mu.Lock()
-		sess.mining = false
-		sess.mu.Unlock()
-		writeErr(w, http.StatusServiceUnavailable, "mine queue full, retry later: %v", err)
+		s.releaseMine(sess)
+		writeError(w, r, http.StatusServiceUnavailable, errQueueFull, time.Second,
+			"mine queue full, retry later: %v", err)
 		return
 	}
-	// Release the mine slot on any terminal outcome — including a job
-	// cancelled while still queued, whose Fn never runs.
+	// Release the mine slot on any terminal outcome. CancelRequested
+	// fires at cancel-request time — before the pool notices the Fn
+	// unwinding — so a cancelled mine (queued or mid-search) frees its
+	// slot immediately instead of holding the session until the worker
+	// returns.
 	go func() {
-		<-job.Done()
-		sess.mu.Lock()
-		sess.mining = false
-		closed := sess.closed
-		sess.mu.Unlock()
-		if closed {
-			engine.EvictLanguage(sess.miner.DS)
+		select {
+		case <-job.Done():
+		case <-job.CancelRequested():
 		}
+		s.releaseMine(sess)
 	}()
 
 	if req.Async {
@@ -887,17 +984,32 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	inf, _ := s.pool.Wait(r.Context(), job.ID(), s.opts.SyncWait)
-	s.writeMineOutcome(w, inf)
+	s.writeMineOutcome(w, r, inf)
+}
+
+// releaseMine returns one mine slot; the watcher of the last slot to
+// drain on a closed session also releases the dataset's cached
+// condition language (an in-flight search keeps its own reference, so
+// eviction while a cancelled search unwinds is safe).
+func (s *Server) releaseMine(sess *session) {
+	sess.mu.Lock()
+	sess.mines--
+	last := sess.mines == 0 && sess.closed
+	sess.mu.Unlock()
+	if last {
+		engine.EvictLanguage(sess.miner.DS)
+	}
 }
 
 // writeMineOutcome maps a finished (or still-running) mine job to the
 // synchronous response the classic API contract promises.
-func (s *Server) writeMineOutcome(w http.ResponseWriter, inf jobs.Info) {
+func (s *Server) writeMineOutcome(w http.ResponseWriter, r *http.Request, inf jobs.Info) {
 	switch inf.Status {
 	case jobs.StatusDone:
 		resp, ok := inf.Result.(*MineResponse)
 		if !ok {
-			writeErr(w, http.StatusInternalServerError, "mine job returned %T", inf.Result)
+			writeError(w, r, http.StatusInternalServerError, errInternal, 0,
+				"mine job returned %T", inf.Result)
 			return
 		}
 		// Annotate a copy: the original is shared with concurrent
@@ -906,9 +1018,9 @@ func (s *Server) writeMineOutcome(w http.ResponseWriter, inf jobs.Info) {
 		withJob.Job = inf.ID
 		writeJSON(w, http.StatusOK, &withJob)
 	case jobs.StatusFailed:
-		writeErr(w, http.StatusInternalServerError, "mining: %s", inf.Error)
+		writeError(w, r, http.StatusInternalServerError, errInternal, 0, "mining: %s", inf.Error)
 	case jobs.StatusCancelled:
-		writeErr(w, http.StatusConflict, "mine job %s cancelled", inf.ID)
+		writeError(w, r, http.StatusConflict, errCancelled, 0, "mine job %s cancelled", inf.ID)
 	default:
 		// SyncWait elapsed (or the client went away): hand over the job
 		// id so the client can keep polling.
@@ -916,9 +1028,12 @@ func (s *Server) writeMineOutcome(w http.ResponseWriter, inf jobs.Info) {
 	}
 }
 
-// mineJob is the Fn run on a pool worker for one mine call. It owns the
-// session's miner for the duration (guaranteed by the mining flag) and
-// only takes the session lock to publish results.
+// mineJob is the Fn run on a pool worker for one mine call. It takes
+// no session lock while searching: the whole mine — beam search and
+// spread preview — runs against the immutable model version pinned at
+// its start, so any number of jobs (and commits building the next
+// version) proceed concurrently. The session lock is only taken to
+// publish the pending result.
 func (s *Server) mineJob(sess *session, req MineRequest) jobs.Fn {
 	return func(ctx context.Context, progress func(string)) (any, error) {
 		// Deadline propagation: the job context carries the mine budget
@@ -928,9 +1043,14 @@ func (s *Server) mineJob(sess *session, req MineRequest) jobs.Fn {
 		if d, ok := ctx.Deadline(); ok {
 			deadline = d
 		}
-		sess.miner.Cfg.Search.Deadline = deadline
+		// Pin the currently published model version and record it on the
+		// job, so the response (and the job record) say which belief
+		// state the result reflects — the handle a client needs to
+		// reproduce the mine exactly.
+		v := sess.miner.Snapshot()
+		jobs.RecordModelVersion(ctx, v.Version())
 		progress("beam search")
-		loc, log, err := sess.miner.MineLocation()
+		loc, log, err := sess.miner.MineAt(v, core.MineOptions{Deadline: deadline})
 		// A cancelled job must not publish results. The search itself
 		// only honours the time deadline, so cancellation takes effect
 		// here — after the current search phase, and no later than the
@@ -949,11 +1069,12 @@ func (s *Server) mineJob(sess *session, req MineRequest) jobs.Fn {
 				sess.pendingLoc, sess.pendingSpread = nil, nil
 				sess.mu.Unlock()
 				return &MineResponse{
-					Evaluated:  log.Evaluated,
-					BoundEvals: log.BoundEvals,
-					Pruned:     log.Pruned,
-					Status:     MineStatusTimeout,
-					TimedOut:   true,
+					Evaluated:    log.Evaluated,
+					BoundEvals:   log.BoundEvals,
+					Pruned:       log.Pruned,
+					Status:       MineStatusTimeout,
+					TimedOut:     true,
+					ModelVersion: v.Version(),
 				}, nil
 			}
 			return nil, err
@@ -961,12 +1082,13 @@ func (s *Server) mineJob(sess *session, req MineRequest) jobs.Fn {
 		progress(fmt.Sprintf("beam search done: %d evaluated, %d pruned by SI bounds",
 			log.Evaluated, log.Pruned))
 		resp := &MineResponse{
-			Location:   locationJSON(sess.miner.DS, loc),
-			Evaluated:  log.Evaluated,
-			BoundEvals: log.BoundEvals,
-			Pruned:     log.Pruned,
-			Status:     MineStatusComplete,
-			TimedOut:   log.TimedOut,
+			Location:     locationJSON(sess.miner.DS, loc),
+			Evaluated:    log.Evaluated,
+			BoundEvals:   log.BoundEvals,
+			Pruned:       log.Pruned,
+			Status:       MineStatusComplete,
+			TimedOut:     log.TimedOut,
+			ModelVersion: v.Version(),
 		}
 		if log.TimedOut {
 			resp.Status = MineStatusPartial
@@ -974,11 +1096,12 @@ func (s *Server) mineJob(sess *session, req MineRequest) jobs.Fn {
 		var sp *pattern.Spread
 		if req.Spread {
 			// The two-step procedure needs the location committed before
-			// the direction search; preview on a clone so nothing is
-			// committed until the client asks for it.
+			// the direction search; preview on a fork of the pinned
+			// version so nothing is committed until the client asks for
+			// it (and concurrent commits to the live model stay
+			// invisible).
 			progress("spread preview")
-			preview := *sess.miner
-			preview.Model = sess.miner.Model.Clone()
+			preview := sess.miner.ForkAt(v)
 			// The what-if commit's coordinate descent runs on the same
 			// job budget as the search phases: a pathological refit
 			// cannot pin the worker past the mine deadline.
@@ -1026,67 +1149,93 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	if !sess.lockIdle(w) {
+	// Model writers serialize on commitMu; sess.mu is scoped to the
+	// claim and publish windows. Concurrent v1 mines (which read
+	// published versions and take neither lock while searching) proceed
+	// in parallel with the refit. The pending claim happens after
+	// commitMu is held, so two racing commits cannot both consume the
+	// same pending pattern — the loser sees the cleared slot and 409s.
+	sess.commitMu.Lock()
+	defer sess.commitMu.Unlock()
+	if !sess.lockIdle(w, r) {
 		return
 	}
-	defer sess.mu.Unlock()
-	if sess.pendingLoc == nil && sess.pendingSpread == nil {
-		writeErr(w, http.StatusConflict, "nothing mined to commit")
+	pl, ps := sess.pendingLoc, sess.pendingSpread
+	sess.mu.Unlock()
+	if pl == nil && ps == nil {
+		writeError(w, r, http.StatusConflict, errNothingPending, 0, "nothing mined to commit")
 		return
 	}
 	// The commit's coordinate descent gets the session's mine budget
 	// (clamped like a mine request): background.Model.refit checks the
 	// deadline each sweep and fails atomically, so one degenerate
-	// constraint system cannot hold the session lock unboundedly. A
+	// constraint system cannot hold the commit lock unboundedly. A
 	// deadline failure is back-pressure, not a server error — the
 	// pending pattern that hit it stays pending, so the client keeps
 	// what was mined. Rollback is atomic, so a retry restarts the
 	// descent from scratch under a fresh budget; it helps when the
 	// failure was load-induced, not when the constraint system
-	// deterministically needs more than the budget.
-	sess.miner.Model.Deadline = time.Now().Add(s.clampBudget(sess.mineTimeout))
-	defer func() { sess.miner.Model.Deadline = time.Time{} }()
-	if sess.pendingLoc != nil {
-		if err := sess.miner.CommitLocation(sess.pendingLoc); err != nil {
+	// deterministically needs more than the budget. Deadline lives on
+	// the live model, which only commitMu holders touch.
+	model := sess.miner.Model
+	model.Deadline = time.Now().Add(s.clampBudget(sess.mineTimeout))
+	defer func() { model.Deadline = time.Time{} }()
+	if pl != nil {
+		if err := sess.miner.CommitLocation(pl); err != nil {
 			if errors.Is(err, background.ErrDeadline) {
-				writeErr(w, http.StatusServiceUnavailable, "commit: %v", err)
+				writeError(w, r, http.StatusServiceUnavailable, errDeadline, time.Second,
+					"commit: %v", err)
 				return
 			}
-			writeErr(w, http.StatusInternalServerError, "commit: %v", err)
+			writeError(w, r, http.StatusInternalServerError, errInternal, 0, "commit: %v", err)
 			return
 		}
 		// The location is now irreversibly in the background model:
 		// record that before attempting the spread, so a failed spread
 		// commit can neither double-commit the location on retry nor
-		// leave the listed iteration count behind the model's.
-		sess.history = append(sess.history, *locationJSON(sess.miner.DS, sess.pendingLoc))
-		sess.pendingLoc = nil
+		// leave the listed iteration count behind the model's. The
+		// pending slot is cleared only if it still holds the committed
+		// pattern — a concurrent v1 mine may have published a fresher
+		// one in the meantime, which must survive.
+		sess.mu.Lock()
+		sess.history = append(sess.history, *locationJSON(sess.miner.DS, pl))
+		if sess.pendingLoc == pl {
+			sess.pendingLoc = nil
+		}
 		sess.iterations.Store(int64(sess.miner.Iteration()))
+		sess.mu.Unlock()
 	}
-	if sp := sess.pendingSpread; sp != nil {
-		sess.pendingSpread = nil
-		if err := sess.miner.CommitSpread(sp); err != nil {
+	if ps != nil {
+		if err := sess.miner.CommitSpread(ps); err != nil {
 			if errors.Is(err, background.ErrDeadline) {
-				// Keep the spread pending: the 503 advertises a retry,
+				// The spread stays pending: the 503 advertises a retry,
 				// and the retry must still have something to commit
 				// (the location leg above is a no-op by then).
-				sess.pendingSpread = sp
-				writeErr(w, http.StatusServiceUnavailable,
+				writeError(w, r, http.StatusServiceUnavailable, errDeadline, time.Second,
 					"commit spread (location was committed): %v", err)
 				return
 			}
-			writeErr(w, http.StatusInternalServerError,
+			writeError(w, r, http.StatusInternalServerError, errInternal, 0,
 				"commit spread (location was committed): %v", err)
 			return
 		}
-		sess.history = append(sess.history, *spreadJSON(sess.miner.DS, sp))
+		sess.mu.Lock()
+		sess.history = append(sess.history, *spreadJSON(sess.miner.DS, ps))
+		if sess.pendingSpread == ps {
+			sess.pendingSpread = nil
+		}
+		sess.mu.Unlock()
 	}
-	// Persist the new belief state so a restart resumes from here.
+	// Persist the new belief state so a restart resumes from here (the
+	// Put is ordered by the commitMu we still hold).
+	sess.mu.Lock()
 	snap, err := sess.snapshotLocked()
+	sess.mu.Unlock()
 	persisted := err == nil && s.store.Put(snap) == nil
 	writeJSON(w, http.StatusOK, map[string]any{
-		"iterations": sess.miner.Iteration(),
-		"persisted":  persisted,
+		"iterations":   sess.miner.Iteration(),
+		"modelVersion": sess.miner.Snapshot().Version(),
+		"persisted":    persisted,
 	})
 }
 
@@ -1095,17 +1244,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	if !sess.lockIdle(w) {
+	if !sess.lockIdle(w, r) {
 		return
 	}
-	defer sess.mu.Unlock()
-	if sess.pendingLoc == nil {
-		writeErr(w, http.StatusConflict, "nothing mined to explain")
+	pl := sess.pendingLoc
+	v := sess.miner.Snapshot()
+	sess.mu.Unlock()
+	if pl == nil {
+		writeError(w, r, http.StatusConflict, errNothingPending, 0, "nothing mined to explain")
 		return
 	}
-	expl, err := sess.miner.ExplainLocation(sess.pendingLoc)
+	// Explaining reads the published version, so it never waits on (or
+	// races) an in-flight commit building the next one.
+	expl, err := sess.miner.ExplainLocationAt(v, pl)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "explain: %v", err)
+		writeError(w, r, http.StatusInternalServerError, errInternal, 0, "explain: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, expl)
@@ -1119,13 +1272,16 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	if !sess.lockIdle(w) {
+	if !sess.lockIdle(w, r) {
 		return
 	}
-	defer sess.mu.Unlock()
+	v := sess.miner.Snapshot()
+	sess.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	if err := sess.miner.Model.SaveJSON(w); err != nil {
-		writeErr(w, http.StatusInternalServerError, "export: %v", err)
+	// Export the published version: immutable, so serialization is
+	// consistent even while a commit builds the next one.
+	if err := v.SaveJSON(w); err != nil {
+		writeError(w, r, http.StatusInternalServerError, errInternal, 0, "export: %v", err)
 	}
 }
 
@@ -1137,17 +1293,22 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	if !sess.lockIdle(w) {
+	// commitMu orders this Put with commit-path persists so a stale
+	// snapshot can never overwrite a fresh one (lock order commitMu →
+	// sess.mu, same as everywhere).
+	sess.commitMu.Lock()
+	defer sess.commitMu.Unlock()
+	if !sess.lockIdle(w, r) {
 		return
 	}
 	snap, err := sess.snapshotLocked()
 	sess.mu.Unlock()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "snapshot: %v", err)
+		writeError(w, r, http.StatusInternalServerError, errInternal, 0, "snapshot: %v", err)
 		return
 	}
 	if err := s.store.Put(snap); err != nil {
-		writeErr(w, http.StatusInternalServerError, "persisting snapshot: %v", err)
+		writeError(w, r, http.StatusInternalServerError, errInternal, 0, "persisting snapshot: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -1163,7 +1324,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	if !sess.lockOpen(w) {
+	if !sess.lockOpen(w, r) {
 		return
 	}
 	defer sess.mu.Unlock()
@@ -1184,7 +1345,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	if ms := r.URL.Query().Get("waitMs"); ms != "" {
 		n, err := strconv.Atoi(ms)
 		if err != nil || n < 0 {
-			writeErr(w, http.StatusBadRequest, "bad waitMs %q", ms)
+			writeError(w, r, http.StatusBadRequest, errBadRequest, 0, "bad waitMs %q", ms)
 			return
 		}
 		const maxLongPoll = 60 * time.Second
@@ -1195,7 +1356,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 	inf, ok := s.pool.Wait(r.Context(), id, wait)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no job %q", id)
+		writeError(w, r, http.StatusNotFound, errNotFound, 0, "no job %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, inf)
@@ -1204,7 +1365,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	inf, ok := s.pool.Cancel(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, errNotFound, 0, "no job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, inf)

@@ -58,7 +58,7 @@ var ErrDegenerate = errors.New("si: degenerate background marginal")
 // negative log density of the observed subgroup mean yhat under the
 // background marginal of f_I(Y), which is N(µ_I, Σ_I) with
 // µ_I = Σ_{i∈I}µᵢ/|I| and Σ_I = Σ_{i∈I}Σᵢ/|I|².
-func LocationIC(m *background.Model, ext *bitset.Set, yhat mat.Vec) (float64, error) {
+func LocationIC(m background.Reader, ext *bitset.Set, yhat mat.Vec) (float64, error) {
 	muI, covI, err := m.SubgroupMeanMarginal(ext)
 	if err != nil {
 		return 0, err
@@ -68,7 +68,7 @@ func LocationIC(m *background.Model, ext *bitset.Set, yhat mat.Vec) (float64, er
 
 // LocationSI computes SI = IC/DL for a location pattern with numConds
 // conditions in its intention.
-func LocationSI(m *background.Model, ext *bitset.Set, yhat mat.Vec, numConds int, p Params) (si, ic float64, err error) {
+func LocationSI(m background.Reader, ext *bitset.Set, yhat mat.Vec, numConds int, p Params) (si, ic float64, err error) {
 	ic, err = LocationIC(m, ext, yhat)
 	if err != nil {
 		return 0, 0, err
@@ -184,7 +184,7 @@ func MomentsNoncentral(gs []background.GroupStats, total int) SpreadMoments {
 
 // SpreadIC computes the IC of a spread pattern for direction w and
 // observed variance ghat around center (the subgroup mean).
-func SpreadIC(m *background.Model, ext *bitset.Set, w, center mat.Vec, ghat float64) (float64, error) {
+func SpreadIC(m background.Reader, ext *bitset.Set, w, center mat.Vec, ghat float64) (float64, error) {
 	cnt := ext.Count()
 	if cnt == 0 {
 		return 0, background.ErrNoPoints
@@ -196,7 +196,7 @@ func SpreadIC(m *background.Model, ext *bitset.Set, w, center mat.Vec, ghat floa
 // SpreadICNoncentral is SpreadIC with the noncentral three-moment fit,
 // which stays accurate when committed patterns overlap and the
 // per-point means deviate from the center.
-func SpreadICNoncentral(m *background.Model, ext *bitset.Set, w, center mat.Vec, ghat float64) (float64, error) {
+func SpreadICNoncentral(m background.Reader, ext *bitset.Set, w, center mat.Vec, ghat float64) (float64, error) {
 	cnt := ext.Count()
 	if cnt == 0 {
 		return 0, background.ErrNoPoints
@@ -217,7 +217,7 @@ func SpreadApproxCDF(sm SpreadMoments, x float64) float64 {
 }
 
 // SpreadSI computes SI = IC/DL for a spread pattern.
-func SpreadSI(m *background.Model, ext *bitset.Set, w, center mat.Vec, ghat float64, numConds int, p Params) (si, ic float64, err error) {
+func SpreadSI(m background.Reader, ext *bitset.Set, w, center mat.Vec, ghat float64, numConds int, p Params) (si, ic float64, err error) {
 	ic, err = SpreadIC(m, ext, w, center, ghat)
 	if err != nil {
 		return 0, 0, err
@@ -296,8 +296,7 @@ type LocationScorer struct {
 	labels []int32
 	// mus is the group means flattened into one contiguous G×d array
 	// (mus[g*d:(g+1)*d] is group g's µ): the µ_I accumulation loop runs
-	// over it cache-linearly with no per-group pointer chase, and the
-	// copy insulates scoring from later in-place model updates.
+	// over it cache-linearly with no per-group pointer chase.
 	mus mat.Vec
 
 	shared  *mat.Cholesky // non-nil → all groups share Sigma
@@ -324,13 +323,17 @@ var (
 	_ engine.StatScorerWorker = (*LocationWorker)(nil)
 )
 
-// NewLocationScorer prepares a scorer against the current model state.
-// The scorer must be rebuilt after the model changes.
-func NewLocationScorer(m *background.Model, y *mat.Dense, p Params) (*LocationScorer, error) {
+// NewLocationScorer prepares a scorer against the given model state —
+// typically a published *background.ModelVersion, so scoring proceeds
+// concurrently with commits. The scorer must be rebuilt to observe a
+// newer version. Groups and labels are shared, not copied: commits
+// never mutate published state in place (copy-on-write), so the
+// references stay valid and immutable for the scorer's lifetime.
+func NewLocationScorer(m background.Reader, y *mat.Dense, p Params) (*LocationScorer, error) {
 	s := &LocationScorer{
 		Y: y, P: p, d: m.D(),
 		groups: m.Groups(),
-		labels: append([]int32(nil), m.Labels()...),
+		labels: m.Labels(),
 	}
 	s.mus = make(mat.Vec, len(s.groups)*s.d)
 	for gi, g := range s.groups {

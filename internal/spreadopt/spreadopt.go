@@ -121,7 +121,7 @@ type objective struct {
 	scatter *mat.Dense   // S with ĝ(w) = wᵀSw
 }
 
-func newObjective(m *background.Model, y *mat.Dense, ext *bitset.Set, center mat.Vec) (*objective, error) {
+func newObjective(m background.Reader, y *mat.Dense, ext *bitset.Set, center mat.Vec) (*objective, error) {
 	total := ext.Count()
 	if total == 0 {
 		return nil, background.ErrNoPoints
@@ -448,7 +448,7 @@ func lexLess(a, b mat.Vec) bool {
 // already be committed to the model, matching the paper's two-step
 // procedure. numConds is the size of the subgroup's intention (it only
 // scales SI through the description length).
-func Optimize(m *background.Model, y *mat.Dense, ext *bitset.Set, center mat.Vec,
+func Optimize(m background.Reader, y *mat.Dense, ext *bitset.Set, center mat.Vec,
 	numConds int, sip si.Params, p Params) (*Result, error) {
 	p = p.withDefaults()
 	o, err := newObjective(m, y, ext, center)

@@ -60,8 +60,22 @@ const (
 
 // Mining engine.
 type (
-	// Miner is the iterative subgroup discovery engine.
+	// Miner is the iterative subgroup discovery engine. A Miner is safe
+	// for one writer (Commit*) plus any number of concurrent readers:
+	// Snapshot returns the immutable published model version, and MineAt
+	// / MineSpreadAt / ExplainLocationAt run against such a version
+	// without locking, unperturbed by commits that land meanwhile.
 	Miner = core.Miner
+	// ModelVersion is one immutable published version of a miner's
+	// background model (copy-on-write: each commit builds and publishes
+	// the next one). Obtain with Miner.Snapshot; mine against it with
+	// Miner.MineAt. A version fully determines a mine's result — the
+	// same version yields byte-identical patterns regardless of
+	// concurrent commits.
+	ModelVersion = background.ModelVersion
+	// MineOptions tune one MineAt / MineSpreadAt call (currently the
+	// search deadline) without mutating the miner's shared Config.
+	MineOptions = core.MineOptions
 	// Config bundles all mining parameters.
 	Config = core.Config
 	// IterationResult is the outcome of one full mining iteration.
@@ -104,31 +118,58 @@ var ErrNoPattern = core.ErrNoPattern
 func ReleaseDataset(ds *Dataset) { engine.EvictLanguage(ds) }
 
 // SaveModel serializes a miner's belief state (the background model's
-// group parameters and committed constraints) as JSON. Together with
-// RestoreMiner it is the session-persistence primitive: the dataset is
-// not part of the snapshot (rebuild it deterministically from its
-// source), only the evolving belief state is.
+// group parameters and committed constraints) as JSON, stamped with
+// the model version it serialized — so saved files can be matched
+// against mine results annotated with a modelVersion. Together with
+// Restore it is the session-persistence primitive: the dataset is not
+// part of the snapshot (rebuild it deterministically from its source),
+// only the evolving belief state is. SaveModel reads the live model
+// and belongs to the writer; to export concurrently with commits, use
+// m.Snapshot().SaveJSON instead.
 func SaveModel(m *Miner, w io.Writer) error { return m.Model.SaveJSON(w) }
 
-// RestoreMiner rebuilds a miner over ds from a belief state saved with
-// SaveModel and the number of committed iterations it represents. The
-// model parameters are restored exactly (bit-identical floats, no
-// constraint replay), so the restored miner mines exactly what the
-// original would have — the property the HTTP server's session
-// persistence is built on.
-func RestoreMiner(ds *Dataset, cfg Config, savedModel io.Reader, iterations int) (*Miner, error) {
-	m, err := core.NewMiner(ds, cfg)
+// RestoreOptions configure Restore. The zero value of Config gets the
+// paper's defaults, like NewMiner.
+type RestoreOptions struct {
+	// Config for the rebuilt miner. Must match the configuration the
+	// original miner ran with for restored mining to reproduce it.
+	Config Config
+	// SavedModel is the JSON belief state written by SaveModel.
+	SavedModel io.Reader
+	// Iterations is the committed iteration count the snapshot
+	// represents (what Miner.Iteration reported when it was saved).
+	Iterations int
+}
+
+// Restore rebuilds a miner over ds from a belief state saved with
+// SaveModel. The model parameters are restored exactly (bit-identical
+// floats, no constraint replay), so the restored miner mines exactly
+// what the original would have — the property the HTTP server's
+// session persistence is built on. The restored model's version stamp
+// is the one SaveModel recorded (older files without a stamp derive it
+// from the constraint count).
+func Restore(ds *Dataset, opts RestoreOptions) (*Miner, error) {
+	m, err := core.NewMiner(ds, opts.Config)
 	if err != nil {
 		return nil, err
 	}
-	model, err := background.LoadJSONExact(savedModel)
+	model, err := background.LoadJSONExact(opts.SavedModel)
 	if err != nil {
 		return nil, err
 	}
-	if err := m.Restore(model, iterations); err != nil {
+	if err := m.Restore(model, opts.Iterations); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// RestoreMiner rebuilds a miner from a belief state saved with
+// SaveModel.
+//
+// Deprecated: use Restore with RestoreOptions — the positional
+// signature cannot grow new fields without breaking every caller.
+func RestoreMiner(ds *Dataset, cfg Config, savedModel io.Reader, iterations int) (*Miner, error) {
+	return Restore(ds, RestoreOptions{Config: cfg, SavedModel: savedModel, Iterations: iterations})
 }
 
 // OptimalResult is the outcome of the exact single-target search.
