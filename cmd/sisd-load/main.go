@@ -14,6 +14,15 @@
 //	sisd-load -users 32 -iters 3 -dataset synthetic -depth 2
 //	sisd-load -users 16 -async            # exercise the job-polling API
 //	sisd-load -users 8 -dataset crime -timeout-ms 200   # budgeted mines
+//
+// With -chaos the harness instead runs the crash-safety scenario: it
+// starts a real sisd-server subprocess over -store-dir, SIGKILLs it
+// mid-commit-stream, restarts it over the same directory, and asserts
+// every surviving session restores and mines byte-identically to a
+// no-crash control run (plus corruption probes for the quarantine
+// paths). Exit status is non-zero unless the report says ok.
+//
+//	sisd-load -chaos -server-bin ./sisd-server -store-dir /tmp/chaos
 package main
 
 import (
@@ -43,7 +52,36 @@ func main() {
 	timeoutMS := flag.Int("timeout-ms", 0, "per-mine budget in ms (0 = none)")
 	seedBase := flag.Int64("seed-base", 1000, "user u mines dataset seeded seed-base+u")
 	workers := flag.Int("workers", 0, "in-process server mine workers (0 = server default)")
+	chaos := flag.Bool("chaos", false, "run the crash/restore chaos scenario instead of a load run")
+	serverBin := flag.String("server-bin", "", "with -chaos: path to the sisd-server binary to crash")
+	storeDir := flag.String("store-dir", "", "with -chaos: snapshot directory shared across the crash (created if missing)")
+	killAfterMS := flag.Int("kill-after-ms", 0, "with -chaos: SIGKILL delay after the first commit (0 = 50ms)")
 	flag.Parse()
+
+	if *chaos {
+		// The load-run flag defaults (32 users × 3 iterations) are sized
+		// for throughput measurement; chaos wants a small deterministic
+		// fleet, so only explicitly-set values carry over.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		cfg := loadgen.ChaosConfig{
+			ServerBin:   *serverBin,
+			StoreDir:    *storeDir,
+			Dataset:     *dataset,
+			SeedBase:    *seedBase,
+			Depth:       *depth,
+			BeamWidth:   *beam,
+			KillAfterMS: *killAfterMS,
+		}
+		if set["users"] {
+			cfg.Users = *users
+		}
+		if set["iters"] {
+			cfg.Iterations = *iters
+		}
+		runChaos(cfg)
+		return
+	}
 
 	base := *addr
 	if base == "" {
@@ -81,4 +119,28 @@ func main() {
 	if rep.FailedJobs > 0 {
 		os.Exit(1)
 	}
+}
+
+// runChaos executes the crash/restore scenario and emits the report
+// (the CHAOS.json artifact when redirected) to stdout.
+func runChaos(cfg loadgen.ChaosConfig) {
+	if cfg.ServerBin == "" || cfg.StoreDir == "" {
+		log.Fatal("-chaos requires -server-bin and -store-dir")
+	}
+	if err := os.MkdirAll(cfg.StoreDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := loadgen.RunChaos(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if !rep.OK {
+		log.Fatalf("chaos run failed: %d mismatches, %d errors", len(rep.Mismatches), len(rep.Errors))
+	}
+	log.Printf("chaos ok: %d/%d sessions byte-identical after crash/restore", rep.Identical, rep.Compared)
 }

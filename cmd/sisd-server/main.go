@@ -22,12 +22,26 @@
 // Mine responses carry a status field: "complete", "partial" (budget
 // expired, best-so-far returned) or "timeout" (budget expired before
 // anything was scored).
+//
+// Lifecycle: GET /api/v1/healthz and /api/v1/readyz serve probes, and
+// SIGTERM/SIGINT triggers a graceful shutdown — the server drains
+// (stops accepting sessions and mines, waits for in-flight jobs up to
+// -drain-timeout, flushes every live session to the store) before the
+// listener closes. A crash (SIGKILL, power loss) instead relies on the
+// store's crash-safety: fsync'd atomic snapshot writes plus a startup
+// recovery sweep that clears torn temp files and quarantines corrupt
+// snapshots.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/server"
@@ -36,13 +50,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sisd-server: ")
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port; the actual address is logged)")
 	storeDir := flag.String("store-dir", "", "directory for session snapshots (empty = in-memory store)")
 	workers := flag.Int("workers", 0, "concurrent mine jobs (0 = max(2, NumCPU/2))")
 	queueCap := flag.Int("queue", 0, "pending mine queue capacity before 503 (0 = 256)")
 	maxSessions := flag.Int("max-sessions", 0, "live in-memory session cap; LRU beyond it is evicted to the store (0 = 256)")
 	sessionTTL := flag.Duration("session-ttl", 0, "idle session eviction TTL (0 = 30m)")
 	syncWait := flag.Duration("sync-wait", 0, "max in-request wait for a sync mine before 202 + job id (0 = 10m)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight mine jobs during graceful shutdown")
 	flag.Parse()
 
 	opts := server.Options{
@@ -57,19 +72,45 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if tmp, quarantined := store.RecoveryStats(); tmp > 0 || quarantined > 0 {
+			log.Printf("store recovery: removed %d torn temp file(s), quarantined %d corrupt snapshot(s)", tmp, quarantined)
+		}
 		opts.Store = store
 		log.Printf("persisting sessions to %s", *storeDir)
 	}
 	api := server.NewWithOptions(opts)
 	defer api.Close()
 
+	// Bind before announcing: with -addr :0 the chaos harness (and any
+	// script) needs the real port, so the log line carries ln.Addr().
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           api.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // restore default signal behavior: a second signal kills hard
+		log.Printf("shutdown signal; draining (timeout %s)", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		rep := api.Drain(dctx)
+		log.Printf("drain: jobsDrained=%v sessions=%d durable=%d failed=%v",
+			rep.JobsDrained, rep.Sessions, rep.Durable, rep.Failed)
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		_ = srv.Shutdown(sctx)
+	}()
+
+	log.Printf("listening on %s", ln.Addr())
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	log.Printf("shut down cleanly")
 }

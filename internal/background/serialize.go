@@ -2,6 +2,7 @@ package background
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -13,7 +14,24 @@ import (
 // parameters; constraints are replayed on load so a restored model can
 // keep committing patterns with full coordinate-descent consistency.
 
+// ErrCorrupt tags model payloads that cannot be decoded or fail
+// structural validation (truncated JSON, inconsistent dimensions,
+// non-SPD covariances, groups not partitioning the points). Callers
+// restoring persisted state match it with errors.Is to distinguish
+// a damaged file from an operational failure.
+var ErrCorrupt = errors.New("background: corrupt model payload")
+
+// corrupt wraps err (and its formatted context) with ErrCorrupt.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// modelFormat is the current model wire-format version; 0 (absent)
+// marks files written before versioning, which load identically.
+const modelFormat = 1
+
 type modelJSON struct {
+	Format    int     `json:"format,omitempty"`
 	N         int     `json:"n"`
 	D         int     `json:"d"`
 	Tol       float64 `json:"tol"`
@@ -61,7 +79,8 @@ func (v *ModelVersion) SaveJSON(w io.Writer) error {
 
 func saveJSON(w io.Writer, version uint64, n, d int, tol float64, maxSweeps int, groups []*Group, cons []constraint) error {
 	out := modelJSON{
-		N: n, D: d, Tol: tol, MaxSweeps: maxSweeps, ModelVersion: version,
+		Format: modelFormat,
+		N:      n, D: d, Tol: tol, MaxSweeps: maxSweeps, ModelVersion: version,
 	}
 	for _, g := range groups {
 		out.Groups = append(out.Groups, groupJSON{
@@ -112,10 +131,13 @@ func LoadJSONExact(r io.Reader) (*Model, error) {
 func loadJSON(r io.Reader, replay bool) (*Model, error) {
 	var in modelJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("background: decoding model: %w", err)
+		return nil, corrupt("decoding model: %v", err)
+	}
+	if in.Format > modelFormat {
+		return nil, fmt.Errorf("background: model format %d not supported (newer writer?)", in.Format)
 	}
 	if in.N <= 0 || in.D <= 0 {
-		return nil, fmt.Errorf("background: invalid dimensions %d×%d", in.N, in.D)
+		return nil, corrupt("invalid dimensions %d×%d", in.N, in.D)
 	}
 	// epoch starts at 1 (like New) so the zero-valued conState caches the
 	// first refit lazily grows are recognized as stale and rebuilt — the
@@ -144,13 +166,13 @@ func loadJSON(r io.Reader, replay bool) (*Model, error) {
 	var distinct []*Group
 	for gi, g := range in.Groups {
 		if len(g.Mu) != in.D || len(g.Sigma) != in.D*in.D {
-			return nil, fmt.Errorf("background: group %d has inconsistent dimensions", gi)
+			return nil, corrupt("group %d has inconsistent dimensions", gi)
 		}
 		sigma := mat.NewDense(in.D, in.D)
 		copy(sigma.Data, g.Sigma)
 		members := bitset.FromIndices(in.N, g.Members)
 		if members.Count() != len(g.Members) {
-			return nil, fmt.Errorf("background: group %d has duplicate members", gi)
+			return nil, corrupt("group %d has duplicate members", gi)
 		}
 		covered += members.Count()
 		grp := &Group{
@@ -168,7 +190,7 @@ func loadJSON(r io.Reader, replay bool) (*Model, error) {
 		if grp.Sigma == nil {
 			chol, err := mat.NewCholesky(sigma)
 			if err != nil {
-				return nil, fmt.Errorf("background: group %d covariance not SPD: %w", gi, err)
+				return nil, corrupt("group %d covariance not SPD: %v", gi, err)
 			}
 			grp.Sigma = sigma
 			grp.chol.Store(chol)
@@ -177,7 +199,7 @@ func loadJSON(r io.Reader, replay bool) (*Model, error) {
 		m.groups = append(m.groups, grp)
 	}
 	if covered != in.N {
-		return nil, fmt.Errorf("background: groups cover %d of %d points", covered, in.N)
+		return nil, corrupt("groups cover %d of %d points", covered, in.N)
 	}
 	m.rebuildLabels()
 	for ci, c := range in.Constraints {
@@ -185,14 +207,14 @@ func loadJSON(r io.Reader, replay bool) (*Model, error) {
 		switch c.Kind {
 		case "location":
 			if len(c.Target) != in.D {
-				return nil, fmt.Errorf("background: constraint %d target dimension", ci)
+				return nil, corrupt("constraint %d target dimension", ci)
 			}
 			m.cons = append(m.cons, &locationConstraint{
 				ext: ext, target: append(mat.Vec(nil), c.Target...),
 			})
 		case "spread":
 			if len(c.W) != in.D || len(c.Center) != in.D || c.Value <= 0 {
-				return nil, fmt.Errorf("background: constraint %d spread fields", ci)
+				return nil, corrupt("constraint %d spread fields", ci)
 			}
 			m.cons = append(m.cons, &spreadConstraint{
 				ext: ext,
@@ -200,7 +222,7 @@ func loadJSON(r io.Reader, replay bool) (*Model, error) {
 				value: c.Value,
 			})
 		default:
-			return nil, fmt.Errorf("background: constraint %d has unknown kind %q", ci, c.Kind)
+			return nil, corrupt("constraint %d has unknown kind %q", ci, c.Kind)
 		}
 	}
 	// Re-enforce: saved parameters should already satisfy everything,

@@ -1,0 +1,182 @@
+package faultstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// snap is a minimal snapshot type for exercising the generic wrapper.
+type snap struct {
+	ID   string
+	Body string
+}
+
+// memStore is a trivial inner store.
+type memStore struct {
+	mu sync.Mutex
+	m  map[string]snap
+}
+
+func newMem() *memStore { return &memStore{m: map[string]snap{}} }
+
+func (s *memStore) Put(sn *snap) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[sn.ID] = *sn
+	return nil
+}
+
+func (s *memStore) Get(id string) (*snap, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn, ok := s.m[id]
+	if !ok {
+		return nil, errors.New("not found")
+	}
+	return &sn, nil
+}
+
+func (s *memStore) Delete(id string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[id]
+	delete(s.m, id)
+	return ok, nil
+}
+
+func (s *memStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.m))
+	for id := range s.m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func TestNthPutAndGetFail(t *testing.T) {
+	fs := New[snap](newMem(), Plan{FailPuts: []int{2}, FailGets: []int{1}})
+	if err := fs.Put(&snap{ID: "a"}); err != nil {
+		t.Fatalf("put 1: %v", err)
+	}
+	if err := fs.Put(&snap{ID: "b"}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("put 2 should fail injected, got %v", err)
+	}
+	if err := fs.Put(&snap{ID: "b"}); err != nil {
+		t.Fatalf("put 3: %v", err)
+	}
+	if _, err := fs.Get("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("get 1 should fail injected, got %v", err)
+	}
+	if got, err := fs.Get("a"); err != nil || got.ID != "a" {
+		t.Fatalf("get 2 = %v, %v", got, err)
+	}
+	st := fs.Stats()
+	if st.Puts != 3 || st.FailedPuts != 1 || st.Gets != 2 || st.FailedGets != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTornPutPersistsMangledAndFails(t *testing.T) {
+	inner := newMem()
+	fs := New[snap](inner, Plan{TornPuts: []int{1}})
+	fs.Mangle = func(sn snap) snap {
+		sn.Body = sn.Body[:len(sn.Body)/2] // truncate: the torn half-write
+		return sn
+	}
+	err := fs.Put(&snap{ID: "a", Body: "0123456789"})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn put should report failure, got %v", err)
+	}
+	got, err := inner.Get("a")
+	if err != nil {
+		t.Fatalf("torn put should have persisted a mangled snapshot: %v", err)
+	}
+	if got.Body != "01234" {
+		t.Fatalf("mangled body = %q", got.Body)
+	}
+	if st := fs.Stats(); st.TornPuts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSeededRateIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		fs := New[snap](newMem(), Plan{Seed: 42, PutFailRate: 0.5})
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			outcomes = append(outcomes, fs.Put(&snap{ID: fmt.Sprintf("s%d", i)}) == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at call %d", i)
+		}
+		if !a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("rate 0.5 produced %d/%d failures", fails, len(a))
+	}
+}
+
+func TestBreakHeal(t *testing.T) {
+	fs := New[snap](newMem(), Plan{})
+	outage := errors.New("disk on fire")
+	fs.Break(outage)
+	if !fs.Broken() {
+		t.Fatal("not broken after Break")
+	}
+	if err := fs.Put(&snap{ID: "a"}); !errors.Is(err, outage) {
+		t.Fatalf("put during outage = %v", err)
+	}
+	if _, err := fs.Get("a"); !errors.Is(err, outage) {
+		t.Fatalf("get during outage = %v", err)
+	}
+	if _, err := fs.List(); !errors.Is(err, outage) {
+		t.Fatalf("list during outage = %v", err)
+	}
+	if _, err := fs.Delete("a"); !errors.Is(err, outage) {
+		t.Fatalf("delete during outage = %v", err)
+	}
+	fs.Heal()
+	if err := fs.Put(&snap{ID: "a"}); err != nil {
+		t.Fatalf("put after heal: %v", err)
+	}
+	if got, err := fs.Get("a"); err != nil || got.ID != "a" {
+		t.Fatalf("get after heal = %v, %v", got, err)
+	}
+}
+
+func TestConcurrentUseIsSafe(t *testing.T) {
+	fs := New[snap](newMem(), Plan{Seed: 7, PutFailRate: 0.2, GetFailRate: 0.2})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("s%d", w)
+			for i := 0; i < 50; i++ {
+				_ = fs.Put(&snap{ID: id})
+				_, _ = fs.Get(id)
+				if i%10 == 0 {
+					fs.Break(nil)
+					fs.Heal()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := fs.Stats()
+	if st.Puts != 400 || st.Gets != 400 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

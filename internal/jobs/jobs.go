@@ -45,6 +45,10 @@ var ErrQueueFull = errors.New("jobs: queue full")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("jobs: pool closed")
 
+// ErrDraining is returned by Submit after Drain began: the pool is
+// finishing in-flight work but accepting nothing new.
+var ErrDraining = errors.New("jobs: pool draining")
+
 // Fn is the work a job performs. ctx carries the job's deadline (when
 // one was set) and is cancelled by Cancel; long searches should pass
 // the deadline into their own budget mechanism and check ctx between
@@ -173,16 +177,56 @@ func RecordModelVersion(ctx context.Context, version uint64) {
 
 // Pool runs submitted jobs on a fixed set of workers.
 type Pool struct {
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // insertion order, for List and retention sweeps
-	nextID int
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for List and retention sweeps
+	nextID   int
+	closed   bool
+	draining bool
 
 	queue     chan *Job
 	wg        sync.WaitGroup
+	workers   int
+	queueCap  int
 	retention time.Duration // how long finished jobs stay visible
 	maxDone   int           // cap on retained finished jobs
+}
+
+// Stats is a point-in-time load snapshot of the pool — the saturation
+// signal readiness probes consume: Queued == QueueCap means the next
+// Submit would be rejected with ErrQueueFull.
+type Stats struct {
+	Workers  int  `json:"workers"`
+	QueueCap int  `json:"queueCap"`
+	Queued   int  `json:"queued"`
+	Running  int  `json:"running"`
+	Draining bool `json:"draining,omitempty"`
+}
+
+// Saturated reports whether the pending queue is full (Submit would
+// return ErrQueueFull).
+func (s Stats) Saturated() bool { return s.Queued >= s.QueueCap }
+
+// Stats reports current pool load.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	st := Stats{
+		Workers:  p.workers,
+		QueueCap: p.queueCap,
+		Draining: p.draining,
+	}
+	for _, j := range p.jobs {
+		j.mu.Lock()
+		switch j.status {
+		case StatusQueued:
+			st.Queued++
+		case StatusRunning:
+			st.Running++
+		}
+		j.mu.Unlock()
+	}
+	p.mu.Unlock()
+	return st
 }
 
 // Option configures a Pool.
@@ -215,6 +259,8 @@ func NewPool(workers, queueCap int, opts ...Option) *Pool {
 	p := &Pool{
 		jobs:      map[string]*Job{},
 		queue:     make(chan *Job, queueCap),
+		workers:   workers,
+		queueCap:  queueCap,
 		retention: 10 * time.Minute,
 		maxDone:   1024,
 	}
@@ -280,6 +326,10 @@ func (p *Pool) Submit(label string, timeout time.Duration, fn Fn) (*Job, error) 
 		p.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if p.draining {
+		p.mu.Unlock()
+		return nil, ErrDraining
+	}
 	p.nextID++
 	j := &Job{
 		id:        fmt.Sprintf("j%06d", p.nextID),
@@ -305,6 +355,30 @@ func (p *Pool) Submit(label string, timeout time.Duration, fn Fn) (*Job, error) 
 	p.sweepLocked()
 	p.mu.Unlock()
 	return j, nil
+}
+
+// Drain stops accepting new jobs (Submit returns ErrDraining) and
+// waits until nothing is queued or running, or ctx is done. Unlike
+// Close it cancels nothing: in-flight and already-queued jobs run to
+// completion — the graceful half of shutdown, after which Close (which
+// only has terminal jobs left to see) is instantaneous. Returns
+// ctx.Err() if the deadline expired with work still in flight.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+	const poll = 5 * time.Millisecond
+	for {
+		st := p.Stats()
+		if st.Queued == 0 && st.Running == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
 }
 
 func (p *Pool) worker() {

@@ -1,0 +1,529 @@
+// Chaos harness: crash-safety validation against a real sisd-server
+// subprocess. The scenario SIGKILLs the server mid-commit-stream,
+// restarts it over the same store directory, and asserts that every
+// session whose create was acknowledged restores and behaves
+// byte-identically to a no-crash control run — the end-to-end check
+// that the fsync'd, checksummed snapshot pipeline actually delivers
+// the durability DESIGN.md §11 promises. Two sacrificial sessions
+// additionally probe the corruption paths: a snapshot corrupted while
+// the server is down must be quarantined by the startup sweep (the
+// session 404s), and one corrupted behind a running server's back must
+// surface as a structured snapshot_corrupt error, never a panic.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ChaosConfig parameterizes a chaos run.
+type ChaosConfig struct {
+	// ServerBin is the sisd-server binary to crash (required).
+	ServerBin string `json:"serverBin"`
+	// StoreDir is the snapshot directory shared across the crash
+	// (required; the caller owns cleanup).
+	StoreDir string `json:"storeDir"`
+	// Users is the number of concurrent sessions (default 4; two are
+	// sacrificed to the corruption probes when Users >= 3).
+	Users int `json:"users"`
+	// Iterations is the mine/commit loops each session attempts before
+	// the kill lands (default 2).
+	Iterations int `json:"iterations"`
+	// Dataset seeds each session (default "synthetic", seed SeedBase+u).
+	Dataset  string `json:"dataset"`
+	SeedBase int64  `json:"seedBase,omitempty"`
+	// Depth / BeamWidth bound per-mine cost (defaults 2 / 8: the chaos
+	// run is about crash timing, not search throughput).
+	Depth     int `json:"depth,omitempty"`
+	BeamWidth int `json:"beamWidth,omitempty"`
+	// KillAfterMS is how long after the first acknowledged commit the
+	// SIGKILL lands (default 50ms — inside the commit stream).
+	KillAfterMS int `json:"killAfterMs,omitempty"`
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Users <= 0 {
+		c.Users = 4
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 2
+	}
+	if c.Dataset == "" {
+		c.Dataset = "synthetic"
+	}
+	if c.SeedBase == 0 {
+		c.SeedBase = 1000
+	}
+	if c.Depth == 0 {
+		c.Depth = 2
+	}
+	if c.BeamWidth == 0 {
+		c.BeamWidth = 8
+	}
+	if c.KillAfterMS <= 0 {
+		c.KillAfterMS = 50
+	}
+	return c
+}
+
+// ChaosReport is the JSON artifact of a chaos run.
+type ChaosReport struct {
+	Config ChaosConfig `json:"config"`
+	WallMS float64     `json:"wallMs"`
+	// Sessions is how many creates were acknowledged before the kill;
+	// CommitsBeforeKill how many commit responses landed.
+	Sessions          int `json:"sessions"`
+	CommitsBeforeKill int `json:"commitsBeforeKill"`
+	// Restored / Identical count compared (non-sacrificial) sessions
+	// that came back, and came back byte-identical to the control run.
+	Compared  int `json:"compared"`
+	Restored  int `json:"restored"`
+	Identical int `json:"identical"`
+	// SweepProbeOK: a snapshot corrupted while the server was down was
+	// quarantined at startup and the session 404s.
+	// ServeProbeOK: a snapshot corrupted behind the running server
+	// surfaced as a snapshot_corrupt envelope (HTTP 500, no crash).
+	SweepProbeOK bool `json:"sweepProbeOk"`
+	ServeProbeOK bool `json:"serveProbeOk"`
+	// Mismatches holds diagnostics for every non-identical session.
+	Mismatches []string `json:"mismatches,omitempty"`
+	// Errors holds fatal harness errors (empty on a clean run).
+	Errors []string `json:"errors,omitempty"`
+	OK     bool     `json:"ok"`
+}
+
+// chaosSession is the harness's pre-crash record of one session: what
+// created it and how many commits were acknowledged. The restored
+// history length is allowed to exceed Commits by one — a commit whose
+// Put landed but whose response the kill swallowed.
+type chaosSession struct {
+	id      string
+	create  server.CreateRequest
+	commits int
+}
+
+// chaosProc is a running sisd-server subprocess.
+type chaosProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startChaosServer launches bin over storeDir on an ephemeral port and
+// parses the actual address from the "listening on" log line.
+func startChaosServer(bin, storeDir string) (*chaosProc, error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-store-dir", storeDir,
+		"-drain-timeout", "10s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stdout = io.Discard
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &chaosProc{cmd: cmd, base: "http://" + addr}, nil
+	case <-time.After(15 * time.Second):
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, fmt.Errorf("chaos: server did not report a listen address")
+	}
+}
+
+func (p *chaosProc) kill() {
+	_ = p.cmd.Process.Kill()
+	_, _ = p.cmd.Process.Wait()
+}
+
+// stop shuts the server down gracefully (SIGTERM → drain → exit).
+func (p *chaosProc) stop() error {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		_ = p.cmd.Process.Kill()
+		return fmt.Errorf("chaos: graceful shutdown timed out")
+	}
+}
+
+// chaosCall is a minimal /api/v1 client: JSON in/out, envelope errors.
+func chaosCall(client *http.Client, method, base, path string, body, out any) (int, string, error) {
+	var rd io.Reader = strings.NewReader("")
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, "", err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, base+"/api/v1"+path, rd)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	if resp.StatusCode >= 300 {
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		_ = json.Unmarshal(raw, &env)
+		return resp.StatusCode, env.Error.Code,
+			fmt.Errorf("%s %s: HTTP %d %s: %s", method, path, resp.StatusCode, env.Error.Code, env.Error.Message)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, "", err
+		}
+	}
+	return resp.StatusCode, "", nil
+}
+
+// canonicalMine strips the scheduling-dependent fields of a mine
+// response — the job id and the SI-bound pruning diagnostics vary with
+// goroutine interleaving (DESIGN.md §6); everything else must be
+// byte-identical across crash/restore.
+func canonicalMine(m *server.MineResponse) []byte {
+	c := *m
+	c.Job = ""
+	c.BoundEvals = 0
+	c.Pruned = 0
+	raw, _ := json.Marshal(&c)
+	return raw
+}
+
+// corruptSnapshot flips bytes in the middle of a session's snapshot
+// file, simulating bit rot the CRC must catch.
+func corruptSnapshot(storeDir, id string) error {
+	path := filepath.Join(storeDir, id+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) < 16 {
+		return fmt.Errorf("chaos: snapshot %s too small to corrupt", id)
+	}
+	for i := len(raw) / 2; i < len(raw)/2+8; i++ {
+		raw[i] ^= 0xff
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// replayControl rebuilds the no-crash reference for one session on an
+// in-process server: same create request, `commits` mine+commit loops,
+// then the observation mine. Returns the canonical mine bytes, the
+// history JSON, and the model export.
+func replayControl(ctrl *http.Client, base string, create server.CreateRequest, commits int) (mine, history, model []byte, err error) {
+	var info server.SessionInfo
+	if _, _, err = chaosCall(ctrl, "POST", base, "/sessions", create, &info); err != nil {
+		return nil, nil, nil, err
+	}
+	for i := 0; i < commits; i++ {
+		var m server.MineResponse
+		if _, _, err = chaosCall(ctrl, "POST", base, "/sessions/"+info.ID+"/mine", server.MineRequest{}, &m); err != nil {
+			return nil, nil, nil, err
+		}
+		if _, _, err = chaosCall(ctrl, "POST", base, "/sessions/"+info.ID+"/commit", nil, nil); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	var m server.MineResponse
+	if _, _, err = chaosCall(ctrl, "POST", base, "/sessions/"+info.ID+"/mine", server.MineRequest{}, &m); err != nil {
+		return nil, nil, nil, err
+	}
+	var hist json.RawMessage
+	if _, _, err = chaosCall(ctrl, "GET", base, "/sessions/"+info.ID+"/history", nil, &hist); err != nil {
+		return nil, nil, nil, err
+	}
+	var mdl json.RawMessage
+	if _, _, err = chaosCall(ctrl, "GET", base, "/sessions/"+info.ID+"/model", nil, &mdl); err != nil {
+		return nil, nil, nil, err
+	}
+	return canonicalMine(&m), hist, mdl, nil
+}
+
+// RunChaos executes the crash/restore scenario and returns the report.
+// The run is fatal-error-free when rep.OK; callers exit non-zero
+// otherwise.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &ChaosReport{Config: cfg}
+	if cfg.ServerBin == "" || cfg.StoreDir == "" {
+		return nil, fmt.Errorf("chaos: ServerBin and StoreDir are required")
+	}
+	wall := time.Now()
+	defer func() { rep.WallMS = float64(time.Since(wall)) / float64(time.Millisecond) }()
+	fail := func(format string, args ...any) (*ChaosReport, error) {
+		rep.Errors = append(rep.Errors, fmt.Sprintf(format, args...))
+		return rep, nil
+	}
+
+	proc, err := startChaosServer(cfg.ServerBin, cfg.StoreDir)
+	if err != nil {
+		return fail("start: %v", err)
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// Phase 1: commit stream. Each user creates a session and loops
+	// mine→commit; the first acknowledged commit starts the kill fuse.
+	var (
+		mu       sync.Mutex
+		sessions []*chaosSession
+		commits  atomic.Int64
+	)
+	firstCommit := make(chan struct{})
+	var commitOnce sync.Once
+	var wg sync.WaitGroup
+	for u := 0; u < cfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			create := server.CreateRequest{
+				Dataset:   cfg.Dataset,
+				Seed:      cfg.SeedBase + int64(u),
+				Depth:     cfg.Depth,
+				BeamWidth: cfg.BeamWidth,
+			}
+			var info server.SessionInfo
+			if _, _, err := chaosCall(client, "POST", proc.base, "/sessions", create, &info); err != nil {
+				return // racing the kill; acceptable for late users
+			}
+			cs := &chaosSession{id: info.ID, create: create}
+			mu.Lock()
+			sessions = append(sessions, cs)
+			mu.Unlock()
+			for i := 0; i < cfg.Iterations; i++ {
+				var m server.MineResponse
+				if _, _, err := chaosCall(client, "POST", proc.base, "/sessions/"+info.ID+"/mine", server.MineRequest{}, &m); err != nil {
+					return
+				}
+				if _, _, err := chaosCall(client, "POST", proc.base, "/sessions/"+info.ID+"/commit", nil, nil); err != nil {
+					return
+				}
+				mu.Lock()
+				cs.commits++
+				mu.Unlock()
+				commits.Add(1)
+				commitOnce.Do(func() { close(firstCommit) })
+			}
+		}(u)
+	}
+
+	// The kill fuse: SIGKILL KillAfterMS after the first commit landed —
+	// mid-stream, while other commits and Puts are in flight.
+	select {
+	case <-firstCommit:
+	case <-time.After(2 * time.Minute):
+		proc.kill()
+		wg.Wait()
+		return fail("no commit landed within 2m; cannot crash mid-stream")
+	}
+	time.Sleep(time.Duration(cfg.KillAfterMS) * time.Millisecond)
+	proc.kill()
+	wg.Wait()
+
+	mu.Lock()
+	rep.Sessions = len(sessions)
+	rep.CommitsBeforeKill = int(commits.Load())
+	mu.Unlock()
+	if rep.Sessions == 0 {
+		return fail("no session created before the kill")
+	}
+
+	// Sacrifice up to two sessions to the corruption probes; the rest
+	// are compared byte-for-byte against the control run.
+	compared := sessions
+	var sweepVictim, serveVictim *chaosSession
+	if len(sessions) >= 3 {
+		sweepVictim = sessions[len(sessions)-1]
+		serveVictim = sessions[len(sessions)-2]
+		compared = sessions[:len(sessions)-2]
+	}
+	if sweepVictim != nil {
+		// Corrupt while the server is down: the restart's recovery sweep
+		// must quarantine the file before anything serves from it.
+		if err := corruptSnapshot(cfg.StoreDir, sweepVictim.id); err != nil {
+			return fail("sweep probe: %v", err)
+		}
+	}
+
+	// Phase 2: restart over the same store and interrogate survivors.
+	proc, err = startChaosServer(cfg.ServerBin, cfg.StoreDir)
+	if err != nil {
+		return fail("restart: %v", err)
+	}
+	defer proc.kill()
+
+	// In-process control server: the no-crash reference.
+	ctrl := server.New()
+	defer ctrl.Close()
+	ctrlSrv, err := newCtrlServer(ctrl)
+	if err != nil {
+		return fail("control server: %v", err)
+	}
+	defer ctrlSrv.close()
+
+	for _, cs := range compared {
+		rep.Compared++
+		var hist []server.PatternJSON
+		if _, _, err := chaosCall(client, "GET", proc.base, "/sessions/"+cs.id+"/history", nil, &hist); err != nil {
+			rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("%s: restore failed: %v", cs.id, err))
+			continue
+		}
+		rep.Restored++
+		// The durable history may be one ahead of the acknowledged
+		// commits (a Put that landed just before the kill swallowed the
+		// response) but never behind, and never past what was attempted.
+		if len(hist) < cs.commits || len(hist) > cfg.Iterations {
+			rep.Mismatches = append(rep.Mismatches,
+				fmt.Sprintf("%s: restored history %d outside [%d,%d]", cs.id, len(hist), cs.commits, cfg.Iterations))
+			continue
+		}
+		var m server.MineResponse
+		if _, _, err := chaosCall(client, "POST", proc.base, "/sessions/"+cs.id+"/mine", server.MineRequest{}, &m); err != nil {
+			rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("%s: mine after restore: %v", cs.id, err))
+			continue
+		}
+		var histRaw, mdlRaw json.RawMessage
+		if _, _, err := chaosCall(client, "GET", proc.base, "/sessions/"+cs.id+"/history", nil, &histRaw); err != nil {
+			rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("%s: history: %v", cs.id, err))
+			continue
+		}
+		if _, _, err := chaosCall(client, "GET", proc.base, "/sessions/"+cs.id+"/model", nil, &mdlRaw); err != nil {
+			rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("%s: model: %v", cs.id, err))
+			continue
+		}
+		ctrlMine, ctrlHist, ctrlMdl, err := replayControl(client, ctrlSrv.base, cs.create, len(hist))
+		if err != nil {
+			rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("%s: control replay: %v", cs.id, err))
+			continue
+		}
+		switch {
+		case !bytes.Equal(canonicalMine(&m), ctrlMine):
+			rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("%s: mine diverged from control", cs.id))
+		case !bytes.Equal(histRaw, ctrlHist):
+			rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("%s: history diverged from control", cs.id))
+		case !bytes.Equal(mdlRaw, ctrlMdl):
+			rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("%s: model export diverged from control", cs.id))
+		default:
+			rep.Identical++
+		}
+	}
+
+	// Probe 1: the snapshot corrupted while the server was down must
+	// have been quarantined by the startup sweep — the session is gone
+	// (404), not a panic or a garbage restore.
+	if sweepVictim != nil {
+		code, errCode, _ := chaosCall(client, "GET", proc.base, "/sessions/"+sweepVictim.id+"/history", nil, nil)
+		rep.SweepProbeOK = code == http.StatusNotFound && errCode == "not_found" &&
+			quarantined(cfg.StoreDir, sweepVictim.id)
+		if !rep.SweepProbeOK {
+			rep.Errors = append(rep.Errors,
+				fmt.Sprintf("sweep probe: HTTP %d code %q (want 404 not_found + quarantine)", code, errCode))
+		}
+	}
+	// Probe 2: corrupt a not-yet-touched session behind the running
+	// server; first touch must answer snapshot_corrupt (500) and
+	// quarantine the file — never crash.
+	if serveVictim != nil {
+		if err := corruptSnapshot(cfg.StoreDir, serveVictim.id); err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("serve probe: %v", err))
+		} else {
+			code, errCode, _ := chaosCall(client, "GET", proc.base, "/sessions/"+serveVictim.id+"/history", nil, nil)
+			rep.ServeProbeOK = code == http.StatusInternalServerError && errCode == "snapshot_corrupt" &&
+				quarantined(cfg.StoreDir, serveVictim.id)
+			if !rep.ServeProbeOK {
+				rep.Errors = append(rep.Errors,
+					fmt.Sprintf("serve probe: HTTP %d code %q (want 500 snapshot_corrupt + quarantine)", code, errCode))
+			}
+		}
+	}
+
+	// Graceful teardown exercises the SIGTERM → drain → shutdown path.
+	if err := proc.stop(); err != nil {
+		rep.Errors = append(rep.Errors, fmt.Sprintf("graceful stop: %v", err))
+	}
+
+	rep.OK = len(rep.Errors) == 0 && len(rep.Mismatches) == 0 &&
+		rep.Restored == rep.Compared && rep.Identical == rep.Compared &&
+		(sweepVictim == nil || rep.SweepProbeOK) &&
+		(serveVictim == nil || rep.ServeProbeOK)
+	return rep, nil
+}
+
+// quarantined reports whether the session's snapshot was moved aside
+// as <id>.json.corrupt (and the live file is gone).
+func quarantined(storeDir, id string) bool {
+	if _, err := os.Stat(filepath.Join(storeDir, id+".json.corrupt")); err != nil {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(storeDir, id+".json"))
+	return os.IsNotExist(err)
+}
+
+// ctrlServer is a minimal in-process HTTP front for the control server
+// (net/http/httptest is test-only by convention; this keeps the
+// harness importable from main packages without that dependency).
+type ctrlServer struct {
+	base  string
+	inner *http.Server
+}
+
+func newCtrlServer(api *server.Server) (*ctrlServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: api.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &ctrlServer{base: "http://" + ln.Addr().String(), inner: srv}, nil
+}
+
+func (c *ctrlServer) close() {
+	_ = c.inner.Close()
+}

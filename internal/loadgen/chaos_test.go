@@ -1,0 +1,43 @@
+package loadgen
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestChaosSmoke runs the full crash/restore scenario end-to-end: it
+// builds the real sisd-server binary, SIGKILLs it mid-commit-stream,
+// restarts it over the same store directory, and requires every
+// compared session to restore byte-identically plus both corruption
+// probes to pass. This is the acceptance gate for DESIGN.md §11.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke builds and crashes a real server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "sisd-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sisd-server")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sisd-server: %v\n%s", err, out)
+	}
+	rep, err := RunChaos(ChaosConfig{
+		ServerBin:  bin,
+		StoreDir:   t.TempDir(),
+		Users:      3, // one compared session + two corruption-probe sacrifices
+		Iterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("chaos run not ok: mismatches=%v errors=%v report=%+v",
+			rep.Mismatches, rep.Errors, rep)
+	}
+	if rep.Compared == 0 || rep.Identical != rep.Compared {
+		t.Fatalf("identical %d/%d compared", rep.Identical, rep.Compared)
+	}
+	if !rep.SweepProbeOK || !rep.ServeProbeOK {
+		t.Fatalf("corruption probes: sweep=%v serve=%v", rep.SweepProbeOK, rep.ServeProbeOK)
+	}
+}

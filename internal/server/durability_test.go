@@ -1,0 +1,494 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultstore"
+)
+
+// v1ErrCode performs a request expected to fail and returns the error
+// code from the /api/v1 envelope.
+func v1ErrCode(t *testing.T, method, url string, body any, wantStatus int) string {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	doJSON(t, method, url, body, wantStatus, &env)
+	return env.Error.Code
+}
+
+// newDirServer spins up a server over a DirStore on dir.
+func newDirServer(t *testing.T, dir string) (*httptest.Server, *Server) {
+	t.Helper()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(Options{Store: store})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts, srv
+}
+
+// TestCorruptSnapshotSurfacesEnvelope is the truncation-at-offsets
+// regression test: a snapshot file damaged behind a running server's
+// back — truncated at various byte offsets, or with a model byte
+// flipped so only the CRC notices — must surface as the structured
+// snapshot_corrupt envelope (HTTP 500, no panic), and the file must be
+// quarantined, never retried forever.
+func TestCorruptSnapshotSurfacesEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newDirServer(t, dir)
+
+	var info SessionInfo
+	doJSON(t, "POST", ts.URL+"/api/v1/sessions", CreateRequest{
+		Dataset: "synthetic", Seed: 11, Depth: 2,
+	}, http.StatusCreated, &info)
+	base := ts.URL + "/api/v1/sessions/" + info.ID
+	mineBody(t, base)
+	doJSON(t, "POST", base+"/commit", nil, http.StatusOK, nil)
+
+	path := filepath.Join(dir, info.ID+".json")
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second server over the same directory: the file is valid at
+	// startup (so the recovery sweep leaves it alone) and corruption
+	// lands afterwards, exercising the Get-time validation path.
+	ts2, _ := newDirServer(t, dir)
+	base2 := ts2.URL + "/api/v1/sessions/" + info.ID
+
+	corruptions := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncate-to-0", func(b []byte) []byte { return b[:0] }},
+		{"truncate-at-1", func(b []byte) []byte { return b[:1] }},
+		{"truncate-quarter", func(b []byte) []byte { return b[:len(b)/4] }},
+		{"truncate-half", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncate-last-byte", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"flip-model-digit", func(b []byte) []byte {
+			// Valid JSON, wrong content: only the CRC can catch this.
+			out := append([]byte(nil), b...)
+			i := bytes.Index(out, []byte(`"model":`))
+			if i < 0 {
+				t.Fatal("no model field in snapshot")
+			}
+			for ; i < len(out); i++ {
+				if out[i] >= '1' && out[i] <= '8' {
+					out[i]++
+					return out
+				}
+			}
+			t.Fatal("no digit found in model payload")
+			return nil
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, tc.mutate(pristine), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			code := v1ErrCode(t, "GET", base2+"/history", nil, http.StatusInternalServerError)
+			if code != errSnapshotCorrupt {
+				t.Fatalf("error code = %q, want %q", code, errSnapshotCorrupt)
+			}
+			// Quarantined: the damaged file was moved aside, preserved for
+			// inspection, and is no longer served.
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Fatalf("no quarantine file: %v", err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("damaged file still live: %v", err)
+			}
+			// After quarantine the session is gone, not poisoned.
+			doJSON(t, "GET", base2+"/history", nil, http.StatusNotFound, nil)
+			// Reset for the next corruption shape.
+			if err := os.Remove(path + ".corrupt"); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, pristine, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	// The pristine file restored: the session serves again.
+	doJSON(t, "GET", base2+"/history", nil, http.StatusOK, nil)
+}
+
+// TestRecoverySweep: NewDirStore clears torn temp files and
+// quarantines snapshots that fail validation, so a post-crash startup
+// begins from a clean, fully verified directory.
+func TestRecoverySweep(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &Snapshot{
+		ID:     "s0001",
+		Create: CreateRequest{Dataset: "synthetic"},
+		Model:  json.RawMessage(`{"n":1}`),
+	}
+	if err := store.Put(good); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write (orphaned temp files) plus bit rot in a
+	// second snapshot (valid-looking file, wrong bytes).
+	for i := 0; i < 3; i++ {
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("s%04d.json.%d.tmp", i, i)), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "s0002.json"), []byte(`{"id":"s0002","format":1,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, quarantined := recovered.RecoveryStats()
+	if tmp != 3 || quarantined != 1 {
+		t.Fatalf("recovery stats = (%d tmp, %d quarantined), want (3, 1)", tmp, quarantined)
+	}
+	ids, err := recovered.List()
+	if err != nil || len(ids) != 1 || ids[0] != "s0001" {
+		t.Fatalf("list after recovery = %v, %v", ids, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s0002.json.corrupt")); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+	leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files survived recovery: %v", leftovers)
+	}
+}
+
+// storeView is the durable-state triple a snapshot must keep
+// consistent: a Put failure may leave the old or the new version, but
+// never a mix.
+type storeView struct {
+	Model      string
+	Iterations int
+	History    int
+}
+
+func viewOf(snap *Snapshot) storeView {
+	return storeView{Model: string(snap.Model), Iterations: snap.Iterations, History: len(snap.History)}
+}
+
+// TestCommitPutFailureNeverTearsDurableState: for every persist point
+// in a session's life (create, each commit, explicit snapshot), an
+// outage at exactly that point leaves the stored snapshot equal to one
+// of the versions a clean run produces — the session is durable at the
+// old or the new belief state, never in between.
+func TestCommitPutFailureNeverTearsDurableState(t *testing.T) {
+	// Reference run: record the durable state after each lifecycle step.
+	runSession := func(ts *httptest.Server, breakAt string, fs *faultstore.Store[Snapshot]) {
+		t.Helper()
+		gate := func(step string, op func(wantPersisted bool)) {
+			if step == breakAt {
+				fs.Break(nil)
+				op(false)
+				fs.Heal()
+				return
+			}
+			op(true)
+		}
+		var info SessionInfo
+		gate("create", func(bool) {
+			doJSON(t, "POST", ts.URL+"/api/v1/sessions", CreateRequest{
+				Dataset: "synthetic", Seed: 21, Depth: 2,
+			}, http.StatusCreated, &info)
+		})
+		base := ts.URL + "/api/v1/sessions/" + info.ID
+		for i := 0; i < 2; i++ {
+			mineBody(t, base)
+			gate(fmt.Sprintf("commit%d", i+1), func(wantPersisted bool) {
+				var out struct {
+					Persisted   bool   `json:"persisted"`
+					Persistence string `json:"persistence"`
+				}
+				doJSON(t, "POST", base+"/commit", nil, http.StatusOK, &out)
+				if out.Persisted != wantPersisted {
+					t.Fatalf("commit %d persisted = %v, want %v", i+1, out.Persisted, wantPersisted)
+				}
+			})
+		}
+		gate("snapshot", func(wantPersisted bool) {
+			status := http.StatusOK
+			if !wantPersisted {
+				status = http.StatusServiceUnavailable
+			}
+			doJSON(t, "POST", base+"/snapshot", nil, status, nil)
+		})
+	}
+
+	// Clean run collects the legitimate durable versions.
+	refInner := NewMemStore()
+	refFS := faultstore.New[Snapshot](refInner, faultstore.Plan{})
+	refSrv := NewWithOptions(Options{Store: refFS})
+	refTS := httptest.NewServer(refSrv.Handler())
+	defer func() { refTS.Close(); refSrv.Close() }()
+	runSession(refTS, "", refFS)
+	refIDs, _ := refInner.List()
+	if len(refIDs) != 1 {
+		t.Fatalf("reference run stored %v", refIDs)
+	}
+	// The clean run's persist points: after create (0 commits), after
+	// commit1, after commit2. Rebuild each from a replayed prefix.
+	var versions []storeView
+	{
+		inner := NewMemStore()
+		srv := NewWithOptions(Options{Store: inner})
+		ts := httptest.NewServer(srv.Handler())
+		var info SessionInfo
+		doJSON(t, "POST", ts.URL+"/api/v1/sessions", CreateRequest{
+			Dataset: "synthetic", Seed: 21, Depth: 2,
+		}, http.StatusCreated, &info)
+		base := ts.URL + "/api/v1/sessions/" + info.ID
+		record := func() {
+			snap, err := inner.Get(info.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			versions = append(versions, viewOf(snap))
+		}
+		record()
+		for i := 0; i < 2; i++ {
+			mineBody(t, base)
+			doJSON(t, "POST", base+"/commit", nil, http.StatusOK, nil)
+			record()
+		}
+		ts.Close()
+		srv.Close()
+	}
+
+	for _, breakAt := range []string{"create", "commit1", "commit2", "snapshot"} {
+		t.Run("break-"+breakAt, func(t *testing.T) {
+			inner := NewMemStore()
+			fs := faultstore.New[Snapshot](inner, faultstore.Plan{})
+			srv := NewWithOptions(Options{Store: fs})
+			ts := httptest.NewServer(srv.Handler())
+			defer func() { ts.Close(); srv.Close() }()
+			runSession(ts, breakAt, fs)
+			ids, _ := inner.List()
+			if breakAt == "create" && len(ids) == 0 {
+				// The one persist point with no prior durable version: an
+				// outage there legitimately leaves nothing.
+				return
+			}
+			if len(ids) != 1 {
+				t.Fatalf("stored sessions = %v", ids)
+			}
+			snap, err := inner.Get(ids[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := viewOf(snap)
+			for _, v := range versions {
+				if got == v {
+					return // durable at a legitimate version — old or new
+				}
+			}
+			t.Fatalf("durable state %+v matches no clean-run version %+v", got, versions)
+		})
+	}
+}
+
+// TestDegradedModeEntryAndHeal: a store outage flips the server to
+// degraded persistence (advertised on commits, readyz and the snapshot
+// endpoint) and the first successful write heals it.
+func TestDegradedModeEntryAndHeal(t *testing.T) {
+	inner := NewMemStore()
+	fs := faultstore.New[Snapshot](inner, faultstore.Plan{})
+	srv := NewWithOptions(Options{Store: fs})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	var info SessionInfo
+	doJSON(t, "POST", ts.URL+"/api/v1/sessions", CreateRequest{
+		Dataset: "synthetic", Seed: 31, Depth: 2,
+	}, http.StatusCreated, &info)
+	base := ts.URL + "/api/v1/sessions/" + info.ID
+
+	var ready readiness
+	doJSON(t, "GET", ts.URL+"/api/v1/readyz", nil, http.StatusOK, &ready)
+	if !ready.Ready || ready.Persistence != PersistenceOK {
+		t.Fatalf("healthy readyz = %+v", ready)
+	}
+
+	fs.Break(nil)
+	mineBody(t, base)
+	var out struct {
+		Persisted   bool   `json:"persisted"`
+		Persistence string `json:"persistence"`
+	}
+	doJSON(t, "POST", base+"/commit", nil, http.StatusOK, &out)
+	if out.Persisted || out.Persistence != PersistenceDegraded {
+		t.Fatalf("commit during outage = %+v", out)
+	}
+	if code := v1ErrCode(t, "POST", base+"/snapshot", nil, http.StatusServiceUnavailable); code != errStoreDegraded {
+		t.Fatalf("snapshot during outage: code %q", code)
+	}
+	doJSON(t, "GET", ts.URL+"/api/v1/readyz", nil, http.StatusServiceUnavailable, &ready)
+	if ready.Ready || ready.Persistence != PersistenceDegraded {
+		t.Fatalf("degraded readyz = %+v", ready)
+	}
+	// Serving continues from memory while degraded.
+	doJSON(t, "GET", base+"/history", nil, http.StatusOK, nil)
+
+	fs.Heal()
+	// The explicit snapshot doubles as the heal probe.
+	doJSON(t, "POST", base+"/snapshot", nil, http.StatusOK, nil)
+	doJSON(t, "GET", ts.URL+"/api/v1/readyz", nil, http.StatusOK, &ready)
+	if !ready.Ready || ready.Persistence != PersistenceOK {
+		t.Fatalf("healed readyz = %+v", ready)
+	}
+	doJSON(t, "POST", base+"/mine", nil, http.StatusOK, nil)
+	doJSON(t, "POST", base+"/commit", nil, http.StatusOK, &out)
+	if !out.Persisted || out.Persistence != PersistenceOK {
+		t.Fatalf("commit after heal = %+v", out)
+	}
+	if _, err := inner.Get(info.ID); err != nil {
+		t.Fatalf("healed store has no snapshot: %v", err)
+	}
+}
+
+// TestDegradedFlapUnderConcurrency exercises the degraded entry/exit
+// transitions while commits and snapshots race an outage that flaps —
+// the -race leg for storeHealth. Correctness bar: no data race, no
+// deadlock, and a final snapshot after heal is durable.
+func TestDegradedFlapUnderConcurrency(t *testing.T) {
+	inner := NewMemStore()
+	fs := faultstore.New[Snapshot](inner, faultstore.Plan{})
+	srv := NewWithOptions(Options{Store: fs})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	var info SessionInfo
+	doJSON(t, "POST", ts.URL+"/api/v1/sessions", CreateRequest{
+		Dataset: "synthetic", Seed: 41, Depth: 2,
+	}, http.StatusCreated, &info)
+	base := ts.URL + "/api/v1/sessions/" + info.ID
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the flapping outage
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fs.Break(nil)
+			time.Sleep(2 * time.Millisecond)
+			fs.Heal()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() { // snapshot/readyz traffic riding the flaps
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				req, _ := http.NewRequest("POST", base+"/snapshot", strings.NewReader(""))
+				if resp, err := http.DefaultClient.Do(req); err == nil {
+					resp.Body.Close() // 200 or 503 are both legitimate mid-flap
+				}
+				if resp, err := http.Get(ts.URL + "/api/v1/readyz"); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ { // commits riding the flaps
+		mineBody(t, base)
+		doJSON(t, "POST", base+"/commit", nil, http.StatusOK, nil)
+	}
+	close(stop)
+	wg.Wait()
+
+	fs.Heal()
+	doJSON(t, "POST", base+"/snapshot", nil, http.StatusOK, nil)
+	snap, err := inner.Get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Iterations != 3 || len(snap.History) != 3 {
+		t.Fatalf("final durable state: iterations=%d history=%d, want 3/3", snap.Iterations, len(snap.History))
+	}
+}
+
+// TestHealthzAndDrain: liveness always answers; drain flushes every
+// session durably, then turns away new sessions and mines while reads
+// keep working.
+func TestHealthzAndDrain(t *testing.T) {
+	ts, _ := newDirServer(t, t.TempDir())
+
+	var health map[string]string
+	doJSON(t, "GET", ts.URL+"/api/v1/healthz", nil, http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	var info SessionInfo
+	doJSON(t, "POST", ts.URL+"/api/v1/sessions", CreateRequest{
+		Dataset: "synthetic", Seed: 51, Depth: 2,
+	}, http.StatusCreated, &info)
+	base := ts.URL + "/api/v1/sessions/" + info.ID
+	mineBody(t, base)
+	doJSON(t, "POST", base+"/commit", nil, http.StatusOK, nil)
+
+	var rep DrainReport
+	doJSON(t, "POST", ts.URL+"/api/v1/drain?timeoutMs=5000", nil, http.StatusOK, &rep)
+	if !rep.Draining || !rep.JobsDrained || rep.Sessions != 1 || rep.Durable != 1 || len(rep.Failed) != 0 {
+		t.Fatalf("drain report = %+v", rep)
+	}
+
+	// Drained: intake is closed with the structured 503 …
+	if code := v1ErrCode(t, "POST", ts.URL+"/api/v1/sessions",
+		CreateRequest{Dataset: "synthetic"}, http.StatusServiceUnavailable); code != errDraining {
+		t.Fatalf("create while draining: code %q", code)
+	}
+	if code := v1ErrCode(t, "POST", base+"/mine", nil, http.StatusServiceUnavailable); code != errDraining {
+		t.Fatalf("mine while draining: code %q", code)
+	}
+	// … readiness reports it …
+	var ready readiness
+	doJSON(t, "GET", ts.URL+"/api/v1/readyz", nil, http.StatusServiceUnavailable, &ready)
+	if ready.Ready || len(ready.Reasons) == 0 {
+		t.Fatalf("readyz while draining = %+v", ready)
+	}
+	// … and reads still serve (memory is intact until the kill).
+	doJSON(t, "GET", base+"/history", nil, http.StatusOK, nil)
+	doJSON(t, "GET", ts.URL+"/api/v1/healthz", nil, http.StatusOK, nil)
+
+	// Drain is idempotent: a retry re-flushes and reports again.
+	doJSON(t, "POST", ts.URL+"/api/v1/drain?timeoutMs=5000", nil, http.StatusOK, &rep)
+	if rep.Sessions != 1 || rep.Durable != 1 {
+		t.Fatalf("second drain report = %+v", rep)
+	}
+}

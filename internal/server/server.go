@@ -45,6 +45,17 @@
 //	GET    /api/v1/jobs                      list mine jobs
 //	GET    /api/v1/jobs/{id}[?waitMs=N]      job status/result, optionally long-polled
 //	DELETE /api/v1/jobs/{id}                 cancel a queued or running job
+//	GET    /api/v1/healthz                   liveness probe (always 200 while serving)
+//	GET    /api/v1/readyz                    readiness probe (503: draining/degraded/saturated)
+//	POST   /api/v1/drain[?timeoutMs=N]       quiesce: stop intake, flush sessions durably
+//
+// Persistence is resilient rather than assumed: store writes retry
+// with capped jittered backoff, and when a full retry cycle fails the
+// server enters degraded mode — serving continues from memory,
+// commit/create responses carry "persistence":"degraded", the explicit
+// snapshot endpoint answers 503 store_degraded with a retry hint, and
+// the first successful write heals the state automatically. See
+// DESIGN.md §11 for the failure model.
 package server
 
 import (
@@ -143,6 +154,12 @@ type Server struct {
 	opts  Options
 	pool  *jobs.Pool
 	store Store
+	// health tracks store-Put reliability and the degraded-mode flag;
+	// every persist path routes through storePut (retry.go).
+	health *storeHealth
+	// draining, once set by Drain, turns away new sessions and mines
+	// with 503 while reads keep working — the graceful-shutdown gate.
+	draining atomic.Bool
 	// lastSweep (unix nanos) rate-limits TTL/LRU sweeps on request
 	// paths, so idle-session eviction also happens on servers that see
 	// only mine/commit traffic and no new creates.
@@ -243,6 +260,7 @@ func NewWithOptions(opts Options) *Server {
 		tombstones: map[string]time.Time{},
 		opts:       opts,
 		store:      opts.Store,
+		health:     newStoreHealth(),
 		pool:       jobs.NewPool(opts.Workers, opts.QueueCap),
 	}
 	if ids, err := s.store.List(); err == nil {
@@ -295,6 +313,9 @@ func (s *Server) routes(mux *http.ServeMux, prefix string) {
 	mux.HandleFunc("GET "+prefix+"/jobs", s.handleJobList)
 	mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealthz)
+	mux.HandleFunc("GET "+prefix+"/readyz", s.handleReadyz)
+	mux.HandleFunc("POST "+prefix+"/drain", s.handleDrain)
 }
 
 // CreateRequest configures a new session.
@@ -334,6 +355,9 @@ type SessionInfo struct {
 	Targets    []string `json:"targets,omitempty"`
 	Iterations int      `json:"iterations"`
 	Persisted  bool     `json:"persisted,omitempty"`
+	// Persistence is set to "degraded" when the store was unreachable
+	// at create time: the session lives in memory only until it heals.
+	Persistence string `json:"persistence,omitempty"`
 }
 
 // PatternJSON is the wire form of a mined pattern.
@@ -408,14 +432,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // Error codes carried in the /api/v1 error envelope. Codes are part of
 // the API contract: clients dispatch on them, messages are for humans.
 const (
-	errBadRequest     = "bad_request"
-	errNotFound       = "not_found"
-	errMineInProgress = "mine_in_progress"
-	errNothingPending = "nothing_pending"
-	errQueueFull      = "queue_full"
-	errDeadline       = "deadline"
-	errCancelled      = "cancelled"
-	errInternal       = "internal"
+	errBadRequest      = "bad_request"
+	errNotFound        = "not_found"
+	errMineInProgress  = "mine_in_progress"
+	errNothingPending  = "nothing_pending"
+	errQueueFull       = "queue_full"
+	errDeadline        = "deadline"
+	errCancelled       = "cancelled"
+	errInternal        = "internal"
+	errSnapshotCorrupt = "snapshot_corrupt"
+	errStoreDegraded   = "store_degraded"
+	errDraining        = "draining"
 )
 
 type errorBody struct {
@@ -535,6 +562,11 @@ func newSession(req *CreateRequest) (*session, error) {
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, r, http.StatusServiceUnavailable, errDraining, degradedRetryAfter,
+			"server is draining; no new sessions")
+		return
+	}
 	var req CreateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, r, http.StatusBadRequest, errBadRequest, 0, "invalid JSON: %v", err)
@@ -578,11 +610,17 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.persist(sess) // best-effort: a restart should know the session exists
 	s.enforceCaps()
 	ds := sess.miner.DS
-	writeJSON(w, http.StatusCreated, SessionInfo{
+	inf := SessionInfo{
 		ID: id, Dataset: ds.Name,
 		N: ds.N(), Dx: ds.Dx(), Dy: ds.Dy(),
 		Targets: ds.TargetNames,
-	})
+	}
+	// Degraded persistence at create time means the session exists in
+	// memory only — worth telling the client up front.
+	if s.health.degraded.Load() {
+		inf.Persistence = PersistenceDegraded
+	}
+	writeJSON(w, http.StatusCreated, inf)
 }
 
 // lookup finds a live session or transparently restores it from the
@@ -606,7 +644,13 @@ func (s *Server) lookup(id string) (*session, error) {
 func (s *Server) restoreFromStore(id string) (*session, error) {
 	snap, err := s.store.Get(id)
 	if err != nil {
-		return nil, err // ErrNotFound or a store I/O failure
+		return nil, err // ErrNotFound, ErrCorrupt, or a store I/O failure
+	}
+	// Verify the integrity framing regardless of which store served the
+	// snapshot: DirStore checks (and quarantines) on Get, but a custom
+	// Store implementation may not.
+	if err := snap.Verify(); err != nil {
+		return nil, err
 	}
 	sess, err := newSession(&snap.Create)
 	if err != nil {
@@ -614,6 +658,14 @@ func (s *Server) restoreFromStore(id string) (*session, error) {
 	}
 	model, err := background.LoadJSONExact(bytes.NewReader(snap.Model))
 	if err != nil {
+		// A model payload the loader rejects inside a checksum-valid (or
+		// legacy, unchecksummed) snapshot is still corruption, not an
+		// operational failure: surface it as the typed sentinel so the
+		// handler can answer with the snapshot_corrupt envelope instead
+		// of bubbling a raw decode error.
+		if errors.Is(err, background.ErrCorrupt) {
+			return nil, fmt.Errorf("%w: restoring model for %s: %v", ErrCorrupt, id, err)
+		}
 		return nil, fmt.Errorf("restoring model: %w", err)
 	}
 	if err := sess.miner.Restore(model, snap.Iterations); err != nil {
@@ -674,7 +726,7 @@ func (s *Server) persist(sess *session) bool {
 	if err != nil {
 		return false
 	}
-	return s.store.Put(snap) == nil
+	return s.storePut(snap) == nil
 }
 
 // snapshotLocked serializes the session's durable state. Caller holds
@@ -690,14 +742,16 @@ func (sess *session) snapshotLocked() (*Snapshot, error) {
 	if err := sess.miner.Snapshot().SaveJSON(&buf); err != nil {
 		return nil, err
 	}
-	return &Snapshot{
+	snap := &Snapshot{
 		ID:         sess.id,
 		Create:     sess.create,
 		Model:      json.RawMessage(buf.Bytes()),
 		History:    append([]PatternJSON(nil), sess.history...),
 		Iterations: int(sess.iterations.Load()),
 		SavedAt:    time.Now(),
-	}, nil
+	}
+	snap.Seal()
+	return snap, nil
 }
 
 // enforceCaps applies the TTL and LRU bounds: idle sessions past the
@@ -768,7 +822,7 @@ func (s *Server) tryEvict(sess *session) bool {
 		return false
 	}
 	snap, err := sess.snapshotLocked()
-	if err != nil || s.store.Put(snap) != nil {
+	if err != nil || s.storePut(snap) != nil {
 		sess.mu.Unlock()
 		return false
 	}
@@ -880,6 +934,14 @@ func (s *Server) withSession(w http.ResponseWriter, r *http.Request) *session {
 	case errors.Is(err, ErrNotFound):
 		writeError(w, r, http.StatusNotFound, errNotFound, 0, "no session %q", id)
 		return nil
+	case errors.Is(err, ErrCorrupt):
+		// The stored snapshot failed integrity validation. DirStore has
+		// already quarantined the file; the structured envelope tells the
+		// client the session's persisted state is unrecoverable (rather
+		// than transient), distinct from a plain internal error.
+		writeError(w, r, http.StatusInternalServerError, errSnapshotCorrupt, 0,
+			"session %q: %v", id, err)
+		return nil
 	case err != nil:
 		// A snapshot exists but could not be restored — surface the
 		// cause instead of a misleading 404.
@@ -921,6 +983,11 @@ func (s *Server) clampBudget(budget time.Duration) time.Duration {
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, r, http.StatusServiceUnavailable, errDraining, degradedRetryAfter,
+			"server is draining; no new mines")
+		return
+	}
 	sess := s.withSession(w, r)
 	if sess == nil {
 		return
@@ -1231,11 +1298,15 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	sess.mu.Lock()
 	snap, err := sess.snapshotLocked()
 	sess.mu.Unlock()
-	persisted := err == nil && s.store.Put(snap) == nil
+	persisted := err == nil && s.storePut(snap) == nil
+	// persistence reports the store health after the Put: "degraded"
+	// tells the client its commit lives in memory only for now (the
+	// server re-persists on heal, eviction, snapshot or drain).
 	writeJSON(w, http.StatusOK, map[string]any{
 		"iterations":   sess.miner.Iteration(),
 		"modelVersion": sess.miner.Snapshot().Version(),
 		"persisted":    persisted,
+		"persistence":  s.health.state(),
 	})
 }
 
@@ -1307,8 +1378,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusInternalServerError, errInternal, 0, "snapshot: %v", err)
 		return
 	}
-	if err := s.store.Put(snap); err != nil {
-		writeError(w, r, http.StatusInternalServerError, errInternal, 0, "persisting snapshot: %v", err)
+	// The explicit flush is the one persist whose failure the client
+	// must hear about: answer 503 with a retry hint instead of claiming
+	// durability. The attempt doubles as a heal probe while degraded.
+	if err := s.storePut(snap); err != nil {
+		writeError(w, r, http.StatusServiceUnavailable, errStoreDegraded, degradedRetryAfter,
+			"persisting snapshot: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

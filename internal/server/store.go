@@ -1,9 +1,11 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,16 +22,68 @@ import (
 // group parameters and constraint list plus the pattern history.
 // Pending (mined but uncommitted) patterns are deliberately ephemeral.
 type Snapshot struct {
-	ID         string          `json:"id"`
-	Create     CreateRequest   `json:"create"`
-	Model      json.RawMessage `json:"model"`
-	History    []PatternJSON   `json:"history,omitempty"`
-	Iterations int             `json:"iterations"`
-	SavedAt    time.Time       `json:"savedAt"`
+	// Format is the snapshot wire-format version (SnapshotFormat when
+	// written by this code; 0 marks a pre-checksum legacy file, accepted
+	// without integrity verification).
+	Format int             `json:"format,omitempty"`
+	ID     string          `json:"id"`
+	Create CreateRequest   `json:"create"`
+	Model  json.RawMessage `json:"model"`
+	// ModelCRC is a CRC-32C (Castagnoli) over the Model bytes, set by
+	// Seal and checked by Verify: a torn or bit-flipped model surfaces
+	// as a typed ErrCorrupt instead of an opaque parse error deep in
+	// the restore path.
+	ModelCRC   uint32        `json:"modelCrc32c,omitempty"`
+	History    []PatternJSON `json:"history,omitempty"`
+	Iterations int           `json:"iterations"`
+	SavedAt    time.Time     `json:"savedAt"`
+}
+
+// SnapshotFormat is the current snapshot wire-format version.
+const SnapshotFormat = 1
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Seal stamps the snapshot with the current format version and the
+// CRC-32C of its model bytes. The model is canonicalized (compacted)
+// first so the checksummed bytes are exactly the bytes a JSON
+// round-trip through a store preserves — json.Marshal compacts
+// RawMessage payloads, which would otherwise shift the CRC. Idempotent;
+// every persist path seals before handing the snapshot to a store.
+func (s *Snapshot) Seal() {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, s.Model); err == nil {
+		s.Model = json.RawMessage(buf.Bytes())
+	}
+	s.Format = SnapshotFormat
+	s.ModelCRC = crc32.Checksum(s.Model, castagnoli)
+}
+
+// Verify checks the integrity framing. Legacy snapshots (Format 0,
+// written before checksumming) pass unverified; anything sealed must
+// match its CRC or the error wraps ErrCorrupt.
+func (s *Snapshot) Verify() error {
+	if s.Format == 0 {
+		return nil // pre-checksum legacy file
+	}
+	if s.Format > SnapshotFormat {
+		return fmt.Errorf("server: snapshot %s: format %d not supported (newer writer?)", s.ID, s.Format)
+	}
+	if got := crc32.Checksum(s.Model, castagnoli); got != s.ModelCRC {
+		return fmt.Errorf("%w: snapshot %s model CRC mismatch (stored %08x, computed %08x)",
+			ErrCorrupt, s.ID, s.ModelCRC, got)
+	}
+	return nil
 }
 
 // ErrNotFound is returned by Store.Get for unknown session ids.
 var ErrNotFound = errors.New("server: session snapshot not found")
+
+// ErrCorrupt tags snapshots that failed integrity validation — a
+// checksum mismatch, truncated JSON, or a model payload the loader
+// rejects. The serving layer maps it to the "snapshot_corrupt" error
+// envelope, and DirStore quarantines the offending file.
+var ErrCorrupt = errors.New("server: snapshot corrupt")
 
 // Store persists session snapshots. Implementations must be safe for
 // concurrent use.
@@ -99,18 +153,113 @@ func (s *MemStore) List() ([]string, error) {
 
 // DirStore persists snapshots as one JSON file per session in a
 // directory, so sessions survive process restarts and can be shared by
-// multiple server processes on a common filesystem. Writes are atomic
-// (temp file + rename).
+// multiple server processes on a common filesystem. Writes are durable
+// and atomic: the temp file is fsynced before the rename and the
+// directory after it, so after a crash every *.json file is either the
+// old or the new complete snapshot, never a torn one. Leftover *.tmp
+// files from a crashed Put and files that fail integrity validation
+// are cleaned up by a recovery sweep at open time (the latter are
+// quarantined under a .corrupt suffix rather than deleted, so an
+// operator can inspect them).
 type DirStore struct {
 	dir string
+	// noSync skips the fsync calls — a test/bench hook quantifying the
+	// durability cost (BenchmarkDirStorePut), never set in production.
+	noSync bool
+
+	// Recovery-sweep counters from NewDirStore, for startup logging.
+	sweptTmp    int
+	quarantined int
 }
 
-// NewDirStore creates the directory if needed and returns the store.
+// NewDirStore creates the directory if needed, runs the crash-recovery
+// sweep (removing orphaned *.tmp files, quarantining snapshots that
+// fail validation), and returns the store.
 func NewDirStore(dir string) (*DirStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: session store dir: %w", err)
 	}
-	return &DirStore{dir: dir}, nil
+	s := &DirStore{dir: dir}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RecoveryStats reports what the open-time sweep found: orphaned *.tmp
+// files removed and corrupt snapshots quarantined.
+func (s *DirStore) RecoveryStats() (tmpRemoved, quarantined int) {
+	return s.sweptTmp, s.quarantined
+}
+
+// recover is the startup sweep. A *.tmp file is a Put that never
+// reached its rename — without the sweep they accumulate forever. A
+// *.json file that fails to parse or verify is quarantined so a later
+// Get cannot trip over it (rename keeps the bytes for inspection).
+func (s *DirStore) recover() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("server: recovery sweep: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			if os.Remove(filepath.Join(s.dir, name)) == nil {
+				s.sweptTmp++
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if _, err := s.load(filepath.Join(s.dir, name)); errors.Is(err, ErrCorrupt) {
+			if s.quarantine(filepath.Join(s.dir, name)) == nil {
+				s.quarantined++
+			}
+		}
+	}
+	return nil
+}
+
+// quarantine moves a corrupt snapshot file aside under a .corrupt
+// suffix: it stops being served (List/Get skip it) but stays on disk
+// for inspection. An earlier quarantine of the same id is overwritten.
+func (s *DirStore) quarantine(path string) error {
+	return os.Rename(path, path+".corrupt")
+}
+
+// load reads and validates one snapshot file. Corruption — truncated
+// or malformed JSON, or a checksum mismatch — wraps ErrCorrupt.
+func (s *DirStore) load(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(path), err)
+	}
+	if err := snap.Verify(); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// syncDir fsyncs the store directory, making a just-renamed snapshot's
+// directory entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // validID guards against path traversal: session ids are only ever the
@@ -133,39 +282,73 @@ func (s *DirStore) path(id string) string {
 	return filepath.Join(s.dir, id+".json")
 }
 
-// Put writes the snapshot atomically.
+// Put writes the snapshot atomically and durably: marshal a sealed
+// copy, write + fsync a temp file, rename it over the target, fsync
+// the directory. A crash at any point leaves either the previous
+// complete snapshot or the new one — the recovery sweep disposes of
+// any temp file left behind.
 func (s *DirStore) Put(snap *Snapshot) error {
 	if !validID(snap.ID) {
 		return fmt.Errorf("server: invalid session id %q", snap.ID)
 	}
-	raw, err := json.Marshal(snap)
+	sealed := *snap
+	sealed.Seal()
+	raw, err := json.Marshal(&sealed)
 	if err != nil {
 		return err
 	}
 	tmp := s.path(snap.ID) + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	if err := s.writeFileSync(tmp, raw); err != nil {
+		_ = os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, s.path(snap.ID))
+	if err := os.Rename(tmp, s.path(snap.ID)); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if s.noSync {
+		return nil
+	}
+	return syncDir(s.dir)
 }
 
-// Get reads a snapshot by id.
+// writeFileSync writes data to path and fsyncs the file before close:
+// the rename in Put must only ever expose fully persisted bytes.
+func (s *DirStore) writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil && !s.noSync {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Get reads and validates a snapshot by id. A corrupt file (torn
+// write from a pre-durability version, bit rot, truncation) is
+// quarantined on the spot and reported as ErrCorrupt, so it fails the
+// same way exactly once and can never crash a restore loop twice.
 func (s *DirStore) Get(id string) (*Snapshot, error) {
 	if !validID(id) {
 		return nil, ErrNotFound
 	}
-	raw, err := os.ReadFile(s.path(id))
+	snap, err := s.load(s.path(id))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, ErrNotFound
+	}
+	if errors.Is(err, ErrCorrupt) {
+		_ = s.quarantine(s.path(id))
+		return nil, err
 	}
 	if err != nil {
 		return nil, err
 	}
-	var snap Snapshot
-	if err := json.Unmarshal(raw, &snap); err != nil {
-		return nil, fmt.Errorf("server: corrupt snapshot %s: %w", id, err)
-	}
-	return &snap, nil
+	return snap, nil
 }
 
 // Delete removes a snapshot file, reporting whether it existed.

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// benchDirStorePut measures the durable snapshot write path. The
+// noSync variant isolates what the fsync discipline (file sync before
+// rename, directory sync after) costs per Put — the price of
+// crash-safety over a bare atomic rename.
+func benchDirStorePut(b *testing.B, noSync bool) {
+	store, err := NewDirStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	store.noSync = noSync
+	// A representative model payload (~10KB of matrix coefficients).
+	nums := make([]float64, 1024)
+	for i := range nums {
+		nums[i] = 1.0 / float64(i+1)
+	}
+	model, err := json.Marshal(map[string]any{"weights": nums})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := &Snapshot{
+		ID:      "s0001",
+		Create:  CreateRequest{Dataset: "synthetic", Seed: 1},
+		Model:   json.RawMessage(model),
+		History: []PatternJSON{{Kind: "location", Intention: "x1<=0.5"}},
+		SavedAt: time.Unix(1, 0),
+	}
+	// Warm-up Put: the first write pays one-time lazy initialization
+	// (and creates the file), which would dominate a single-iteration
+	// CI run; the gate is about the steady-state overwrite path.
+	if err := store.Put(snap); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Iterations = i
+		if err := store.Put(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDirStorePut(b *testing.B)       { benchDirStorePut(b, false) }
+func BenchmarkDirStorePutNoSync(b *testing.B) { benchDirStorePut(b, true) }
