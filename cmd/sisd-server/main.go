@@ -40,12 +40,37 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
 )
+
+// debugServer exposes net/http/pprof on its own listener, opt-in via
+// -debug-addr. Profiles never share the API port: the API mux stays
+// closed (cmd/apicheck pins its route set) and an operator can firewall
+// the debug port independently.
+func debugServer(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("debug listener: %v", err)
+	}
+	log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("debug server: %v", err)
+		}
+	}()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -58,6 +83,8 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 0, "idle session eviction TTL (0 = 30m)")
 	syncWait := flag.Duration("sync-wait", 0, "max in-request wait for a sync mine before 202 + job id (0 = 10m)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight mine jobs during graceful shutdown")
+	shardID := flag.String("shard-id", "", "stable shard identity reported in healthz/readyz and session listings (cluster deployments)")
+	debugAddr := flag.String("debug-addr", "", "optional separate listen address for /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	opts := server.Options{
@@ -66,6 +93,10 @@ func main() {
 		MaxSessions: *maxSessions,
 		SessionTTL:  *sessionTTL,
 		SyncWait:    *syncWait,
+		ShardID:     *shardID,
+	}
+	if *debugAddr != "" {
+		debugServer(*debugAddr)
 	}
 	if *storeDir != "" {
 		store, err := server.NewDirStore(*storeDir)

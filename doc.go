@@ -39,6 +39,13 @@
 //	sp, err := m.MineSpread(loc)         // most surprising direction
 //	err = m.CommitSpread(sp)
 //
+// Serving rides on top: cmd/sisd-server exposes sessions over HTTP
+// (one interactive miner per session, durable snapshots), and
+// cmd/sisd-router scales that horizontally — a stateless
+// consistent-hash router places sessions on N server shards over a
+// shared snapshot store and migrates them between shards by snapshot
+// handoff (DESIGN.md §12).
+//
 // See the examples/ directory for runnable end-to-end programs and
 // DESIGN.md for the system inventory and the mapping from the paper's
 // tables and figures to the benchmarks that regenerate them.

@@ -124,12 +124,15 @@ type chaosProc struct {
 }
 
 // startChaosServer launches bin over storeDir on an ephemeral port and
-// parses the actual address from the "listening on" log line.
-func startChaosServer(bin, storeDir string) (*chaosProc, error) {
-	cmd := exec.Command(bin,
+// parses the actual address from the "listening on" log line. Extra
+// args (e.g. -shard-id for cluster shards) are appended verbatim.
+func startChaosServer(bin, storeDir string, extra ...string) (*chaosProc, error) {
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-store-dir", storeDir,
-		"-drain-timeout", "10s")
+		"-drain-timeout", "10s"}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,491 @@
+// Cluster harness: the scale-out counterpart of the single-process load
+// run. It measures the same workload twice — one sisd-server subprocess
+// alone, then a consistent-hash router fronting N shard subprocesses
+// over a shared store — and reports the throughput ratio, the router's
+// added latency, and (optionally) a chaos leg that SIGKILLs a shard
+// mid-commit-stream and requires every affected session to resume on a
+// surviving shard with mine results byte-identical to a no-crash
+// control run. This is the acceptance artifact for DESIGN.md §12: on a
+// multi-core runner the cluster leg should sustain near-linear jobs/sec
+// scaling at equal-or-better p95.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// ClusterConfig parameterizes a cluster run.
+type ClusterConfig struct {
+	// ServerBin is the sisd-server binary to spawn shards from (required).
+	ServerBin string `json:"serverBin"`
+	// StoreDir is the harness scratch root (required; the single-shard
+	// baseline and the cluster get separate subdirectories).
+	StoreDir string `json:"storeDir"`
+	// ShardCount is the cluster size (default 3).
+	ShardCount int `json:"shards"`
+	// Users / Iterations / Dataset / SeedBase / Depth / BeamWidth have
+	// the load-run meanings (defaults 16 / 2 / synthetic / 1000 / 2 / 8:
+	// cheap mines keep the comparison dominated by concurrency, not one
+	// giant search).
+	Users      int    `json:"users"`
+	Iterations int    `json:"iterations"`
+	Dataset    string `json:"dataset"`
+	SeedBase   int64  `json:"seedBase,omitempty"`
+	Depth      int    `json:"depth,omitempty"`
+	BeamWidth  int    `json:"beamWidth,omitempty"`
+	// Workers caps each shard's mine pool (0 = server default). The
+	// single-shard baseline uses the same value, so the comparison
+	// isolates process count, not pool size.
+	Workers int `json:"workers,omitempty"`
+	// SkipChaos drops the shard-kill leg (it is on by default — the
+	// resume-on-surviving-shard property is half the point).
+	SkipChaos bool `json:"skipChaos,omitempty"`
+	// OverheadProbes is the sample count for the router-overhead
+	// comparison (default 300).
+	OverheadProbes int `json:"overheadProbes,omitempty"`
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.ShardCount <= 0 {
+		c.ShardCount = 3
+	}
+	if c.Users <= 0 {
+		c.Users = 16
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 2
+	}
+	if c.Dataset == "" {
+		c.Dataset = "synthetic"
+	}
+	if c.SeedBase == 0 {
+		c.SeedBase = 1000
+	}
+	if c.Depth == 0 {
+		c.Depth = 2
+	}
+	if c.BeamWidth == 0 {
+		c.BeamWidth = 8
+	}
+	if c.OverheadProbes <= 0 {
+		c.OverheadProbes = 300
+	}
+	return c
+}
+
+// ClusterChaosReport is the shard-kill leg of a cluster run.
+type ClusterChaosReport struct {
+	// KilledShard is the shard SIGKILLed mid-commit-stream.
+	KilledShard string `json:"killedShard"`
+	// Sessions/ CommitsBeforeKill mirror the single-process chaos run.
+	Sessions          int `json:"sessions"`
+	CommitsBeforeKill int `json:"commitsBeforeKill"`
+	// Affected counts sessions homed on the killed shard; Resumed how
+	// many answered on a surviving shard afterwards; Identical how many
+	// mined byte-identically to the no-crash control replay.
+	Affected  int      `json:"affected"`
+	Resumed   int      `json:"resumed"`
+	Identical int      `json:"identical"`
+	Errors    []string `json:"errors,omitempty"`
+	OK        bool     `json:"ok"`
+}
+
+// ClusterReport is the JSON artifact of a cluster run.
+type ClusterReport struct {
+	Config ClusterConfig `json:"config"`
+	WallMS float64       `json:"wallMs"`
+	// Single and Cluster are the two measured legs.
+	Single  *Report `json:"single"`
+	Cluster *Report `json:"cluster"`
+	// Speedup is cluster jobs/sec over single jobs/sec; MineP95 carries
+	// the latency side of the acceptance bar.
+	Speedup       float64 `json:"speedup"`
+	SingleMineP95 float64 `json:"singleMineP95Ms"`
+	ClusterMine95 float64 `json:"clusterMineP95Ms"`
+	// Router overhead: p50 of a cheap session read via the router minus
+	// the same read direct to the owning shard, same process, same
+	// client, interleaved samples.
+	DirectP50MS   float64 `json:"directP50Ms"`
+	RoutedP50MS   float64 `json:"routedP50Ms"`
+	OverheadP50MS float64 `json:"overheadP50Ms"`
+	// Chaos is the shard-kill leg (nil when skipped).
+	Chaos  *ClusterChaosReport `json:"chaos,omitempty"`
+	Errors []string            `json:"errors,omitempty"`
+	OK     bool                `json:"ok"`
+}
+
+// clusterShard pairs a shard subprocess with its identity.
+type clusterShard struct {
+	id   string
+	proc *chaosProc
+}
+
+// routerFront serves an in-process cluster.Router on a real listener —
+// the shards are real processes; the router shares the harness process
+// so the chaos leg can force deterministic probe sweeps instead of
+// sleeping through the probe interval.
+type routerFront struct {
+	rt   *cluster.Router
+	srv  *http.Server
+	base string
+}
+
+func newRouterFront(shards []*clusterShard) (*routerFront, error) {
+	cfgs := make([]cluster.Shard, len(shards))
+	for i, sh := range shards {
+		cfgs[i] = cluster.Shard{ID: sh.id, URL: sh.proc.base}
+	}
+	rt, err := cluster.NewRouter(cluster.Options{
+		Shards:        cfgs,
+		ProbeInterval: 250 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	srv := &http.Server{Handler: rt.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &routerFront{rt: rt, srv: srv, base: "http://" + ln.Addr().String()}, nil
+}
+
+func (f *routerFront) close() {
+	_ = f.srv.Close()
+	f.rt.Close()
+}
+
+// RunCluster executes the full scenario: baseline, cluster, overhead
+// probe, chaos leg. Fatal harness errors land in rep.Errors; rep.OK
+// summarizes the correctness-side checks (the throughput acceptance
+// ratio is judged by the caller/CI, because it is hardware-dependent —
+// a single-core machine cannot scale by process count).
+func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ServerBin == "" || cfg.StoreDir == "" {
+		return nil, fmt.Errorf("cluster: ServerBin and StoreDir are required")
+	}
+	rep := &ClusterReport{Config: cfg}
+	wall := time.Now()
+	defer func() { rep.WallMS = float64(time.Since(wall)) / float64(time.Millisecond) }()
+	fail := func(format string, args ...any) (*ClusterReport, error) {
+		rep.Errors = append(rep.Errors, fmt.Sprintf(format, args...))
+		return rep, nil
+	}
+
+	// One pooled client for every leg: identical client-side connection
+	// behavior for baseline and cluster numbers.
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Users * 4,
+		MaxIdleConnsPerHost: cfg.Users * 2,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: 2 * time.Minute}
+	load := Config{
+		Users:      cfg.Users,
+		Iterations: cfg.Iterations,
+		Dataset:    cfg.Dataset,
+		SeedBase:   cfg.SeedBase,
+		Depth:      cfg.Depth,
+		BeamWidth:  cfg.BeamWidth,
+		Client:     client,
+	}
+
+	// Leg 1: single shard, same binary, own store.
+	singleDir := filepath.Join(cfg.StoreDir, "single")
+	if err := os.MkdirAll(singleDir, 0o755); err != nil {
+		return fail("mkdir: %v", err)
+	}
+	singleArgs := []string{"-shard-id", "single"}
+	if cfg.Workers > 0 {
+		singleArgs = append(singleArgs, "-workers", fmt.Sprint(cfg.Workers))
+	}
+	single, err := startChaosServer(cfg.ServerBin, singleDir, singleArgs...)
+	if err != nil {
+		return fail("start single shard: %v", err)
+	}
+	load.BaseURL = single.base
+	rep.Single, err = Run(load)
+	single.kill()
+	if err != nil {
+		return fail("single-shard leg: %v", err)
+	}
+
+	// Leg 2: N shards over one shared store behind the router.
+	clusterDir := filepath.Join(cfg.StoreDir, "cluster")
+	if err := os.MkdirAll(clusterDir, 0o755); err != nil {
+		return fail("mkdir: %v", err)
+	}
+	shards := make([]*clusterShard, cfg.ShardCount)
+	defer func() {
+		for _, sh := range shards {
+			if sh != nil {
+				sh.proc.kill()
+			}
+		}
+	}()
+	for i := range shards {
+		id := fmt.Sprintf("shard-%d", i)
+		args := []string{"-shard-id", id}
+		if cfg.Workers > 0 {
+			args = append(args, "-workers", fmt.Sprint(cfg.Workers))
+		}
+		proc, err := startChaosServer(cfg.ServerBin, clusterDir, args...)
+		if err != nil {
+			return fail("start %s: %v", id, err)
+		}
+		shards[i] = &clusterShard{id: id, proc: proc}
+	}
+	front, err := newRouterFront(shards)
+	if err != nil {
+		return fail("router: %v", err)
+	}
+	defer front.close()
+
+	load.BaseURL = front.base
+	load.SeedBase = cfg.SeedBase + 10_000 // fresh sessions, same workload shape
+	rep.Cluster, err = Run(load)
+	if err != nil {
+		return fail("cluster leg: %v", err)
+	}
+	if rep.Single.JobsPerSec > 0 {
+		rep.Speedup = rep.Cluster.JobsPerSec / rep.Single.JobsPerSec
+	}
+	rep.SingleMineP95 = rep.Single.Ops["mine"].P95MS
+	rep.ClusterMine95 = rep.Cluster.Ops["mine"].P95MS
+
+	if err := rep.probeOverhead(client, front, shards); err != nil {
+		return fail("overhead probe: %v", err)
+	}
+
+	if !cfg.SkipChaos {
+		rep.Chaos = runClusterChaos(cfg, client, front, shards)
+	}
+
+	rep.OK = len(rep.Errors) == 0 &&
+		rep.Single.FailedJobs == 0 && rep.Cluster.FailedJobs == 0 &&
+		(rep.Chaos == nil || rep.Chaos.OK)
+	return rep, nil
+}
+
+// probeOverhead measures what the router adds to one request: the same
+// cheap session read sampled direct-to-shard and via the router,
+// interleaved (so machine noise hits both series equally), compared at
+// the median.
+func (rep *ClusterReport) probeOverhead(client *http.Client, front *routerFront, shards []*clusterShard) error {
+	var info server.SessionInfo
+	if _, _, err := chaosCall(client, "POST", front.base, "/sessions", server.CreateRequest{
+		Dataset: rep.Config.Dataset, Seed: 1, Depth: rep.Config.Depth, BeamWidth: rep.Config.BeamWidth,
+	}, &info); err != nil {
+		return err
+	}
+	var ownerBase string
+	for _, sh := range shards {
+		if sh.id == info.Shard {
+			ownerBase = sh.proc.base
+		}
+	}
+	if ownerBase == "" {
+		return fmt.Errorf("probe session %s landed on unknown shard %q", info.ID, info.Shard)
+	}
+	path := "/sessions/" + info.ID + "/history"
+	probe := func(base string) (float64, error) {
+		start := time.Now()
+		if _, _, err := chaosCall(client, "GET", base, path, nil, nil); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(start)) / float64(time.Millisecond), nil
+	}
+	// Warm both connection pools before sampling.
+	for i := 0; i < 8; i++ {
+		if _, err := probe(ownerBase); err != nil {
+			return err
+		}
+		if _, err := probe(front.base); err != nil {
+			return err
+		}
+	}
+	direct := make([]float64, 0, rep.Config.OverheadProbes)
+	routed := make([]float64, 0, rep.Config.OverheadProbes)
+	for i := 0; i < rep.Config.OverheadProbes; i++ {
+		d, err := probe(ownerBase)
+		if err != nil {
+			return err
+		}
+		r, err := probe(front.base)
+		if err != nil {
+			return err
+		}
+		direct = append(direct, d)
+		routed = append(routed, r)
+	}
+	sort.Float64s(direct)
+	sort.Float64s(routed)
+	rep.DirectP50MS = percentile(direct, 0.50)
+	rep.RoutedP50MS = percentile(routed, 0.50)
+	rep.OverheadP50MS = rep.RoutedP50MS - rep.DirectP50MS
+	return nil
+}
+
+// runClusterChaos is the shard-kill leg: a small fleet of sessions
+// commits through the router, one shard that owns at least one of them
+// is SIGKILLed mid-stream, the router is forced through a probe sweep,
+// and every affected session must resume on a surviving shard with
+// history inside the acknowledged window and a mine byte-identical to
+// the no-crash control replay (same comparison as the PR-8 chaos run).
+func runClusterChaos(cfg ClusterConfig, client *http.Client, front *routerFront, shards []*clusterShard) *ClusterChaosReport {
+	rep := &ClusterChaosReport{}
+	failf := func(format string, args ...any) *ClusterChaosReport {
+		rep.Errors = append(rep.Errors, fmt.Sprintf(format, args...))
+		return rep
+	}
+
+	type chaosSess struct {
+		cs    *chaosSession
+		shard string
+	}
+	// Create the fleet through the router, recording each session's home
+	// shard from the placement the create response carries.
+	fleet := make([]*chaosSess, 0, 6)
+	byShard := map[string]int{}
+	for u := 0; len(fleet) < 6 && u < 48; u++ {
+		create := server.CreateRequest{
+			Dataset:   cfg.Dataset,
+			Seed:      cfg.SeedBase + 20_000 + int64(u),
+			Depth:     cfg.Depth,
+			BeamWidth: cfg.BeamWidth,
+		}
+		var info server.SessionInfo
+		if _, _, err := chaosCall(client, "POST", front.base, "/sessions", create, &info); err != nil {
+			return failf("create: %v", err)
+		}
+		fleet = append(fleet, &chaosSess{
+			cs:    &chaosSession{id: info.ID, create: create},
+			shard: info.Shard,
+		})
+		byShard[info.Shard]++
+	}
+	rep.Sessions = len(fleet)
+	// Kill the shard owning the most sessions — maximum blast radius.
+	for _, sh := range shards {
+		if rep.KilledShard == "" || byShard[sh.id] > byShard[rep.KilledShard] {
+			rep.KilledShard = sh.id
+		}
+	}
+	if byShard[rep.KilledShard] == 0 {
+		return failf("no session landed on any shard; placement broken")
+	}
+
+	// Commit stream; the first acknowledged commit lights the kill fuse.
+	var (
+		mu      sync.Mutex
+		commits atomic.Int64
+	)
+	firstCommit := make(chan struct{})
+	var commitOnce sync.Once
+	var wg sync.WaitGroup
+	for _, s := range fleet {
+		wg.Add(1)
+		go func(s *chaosSess) {
+			defer wg.Done()
+			for i := 0; i < cfg.Iterations; i++ {
+				var m server.MineResponse
+				if _, _, err := chaosCall(client, "POST", front.base, "/sessions/"+s.cs.id+"/mine", server.MineRequest{}, &m); err != nil {
+					return // racing the kill — the resume check below decides
+				}
+				if _, _, err := chaosCall(client, "POST", front.base, "/sessions/"+s.cs.id+"/commit", nil, nil); err != nil {
+					return
+				}
+				mu.Lock()
+				s.cs.commits++
+				mu.Unlock()
+				commits.Add(1)
+				commitOnce.Do(func() { close(firstCommit) })
+			}
+		}(s)
+	}
+	select {
+	case <-firstCommit:
+	case <-time.After(2 * time.Minute):
+		wg.Wait()
+		return failf("no commit landed within 2m")
+	}
+	time.Sleep(50 * time.Millisecond)
+	var killed *clusterShard
+	for _, sh := range shards {
+		if sh.id == rep.KilledShard {
+			killed = sh
+		}
+	}
+	killed.proc.kill()
+	wg.Wait()
+	rep.CommitsBeforeKill = int(commits.Load())
+
+	// Force the router to notice the corpse instead of sleeping through
+	// the probe interval; one sweep is the deterministic equivalent.
+	front.rt.ProbeOnce(context.Background())
+
+	// Control server for the no-crash reference.
+	ctrl := server.New()
+	defer ctrl.Close()
+	ctrlSrv, err := newCtrlServer(ctrl)
+	if err != nil {
+		return failf("control server: %v", err)
+	}
+	defer ctrlSrv.close()
+
+	for _, s := range fleet {
+		if s.shard != rep.KilledShard {
+			continue
+		}
+		rep.Affected++
+		var hist []server.PatternJSON
+		if _, _, err := chaosCall(client, "GET", front.base, "/sessions/"+s.cs.id+"/history", nil, &hist); err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: resume failed: %v", s.cs.id, err))
+			continue
+		}
+		rep.Resumed++
+		// Same durable window as the single-process chaos run: never
+		// behind the acked commits, never past what was attempted.
+		if len(hist) < s.cs.commits || len(hist) > cfg.Iterations {
+			rep.Errors = append(rep.Errors,
+				fmt.Sprintf("%s: resumed history %d outside [%d,%d]", s.cs.id, len(hist), s.cs.commits, cfg.Iterations))
+			continue
+		}
+		var m server.MineResponse
+		if _, _, err := chaosCall(client, "POST", front.base, "/sessions/"+s.cs.id+"/mine", server.MineRequest{}, &m); err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: mine after resume: %v", s.cs.id, err))
+			continue
+		}
+		ctrlMine, _, _, err := replayControl(client, ctrlSrv.base, s.cs.create, len(hist))
+		if err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: control replay: %v", s.cs.id, err))
+			continue
+		}
+		if !bytes.Equal(canonicalMine(&m), ctrlMine) {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: mine diverged from control after shard kill", s.cs.id))
+			continue
+		}
+		rep.Identical++
+	}
+	rep.OK = len(rep.Errors) == 0 && rep.Affected > 0 &&
+		rep.Resumed == rep.Affected && rep.Identical == rep.Affected
+	return rep
+}

@@ -44,6 +44,11 @@ type Config struct {
 	Async bool `json:"async,omitempty"`
 	// TimeoutMS is the per-mine budget handed to the server (0 = none).
 	TimeoutMS int `json:"timeoutMs,omitempty"`
+	// Client, when set, is the HTTP client every virtual user shares —
+	// the cluster harness passes one pooled keep-alive transport through
+	// its baseline and cluster legs so client-side connection churn
+	// cannot skew the comparison. Nil builds a run-scoped pooled client.
+	Client *http.Client `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -243,14 +248,18 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.BaseURL == "" {
 		return nil, fmt.Errorf("loadgen: BaseURL required")
 	}
-	// A dedicated transport: the default caps idle conns per host at 2,
-	// which would serialize 32 users into connection churn.
-	transport := &http.Transport{
-		MaxIdleConns:        cfg.Users * 2,
-		MaxIdleConnsPerHost: cfg.Users * 2,
+	client := cfg.Client
+	if client == nil {
+		// A dedicated pooled transport shared by every virtual user: the
+		// default caps idle conns per host at 2, which would serialize 32
+		// users into connection churn.
+		transport := &http.Transport{
+			MaxIdleConns:        cfg.Users * 2,
+			MaxIdleConnsPerHost: cfg.Users * 2,
+		}
+		defer transport.CloseIdleConnections()
+		client = &http.Client{Transport: transport}
 	}
-	defer transport.CloseIdleConnections()
-	client := &http.Client{Transport: transport}
 
 	users := make([]*user, cfg.Users)
 	var wg sync.WaitGroup

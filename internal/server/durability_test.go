@@ -332,7 +332,7 @@ func TestDegradedModeEntryAndHeal(t *testing.T) {
 	}, http.StatusCreated, &info)
 	base := ts.URL + "/api/v1/sessions/" + info.ID
 
-	var ready readiness
+	var ready Readiness
 	doJSON(t, "GET", ts.URL+"/api/v1/readyz", nil, http.StatusOK, &ready)
 	if !ready.Ready || ready.Persistence != PersistenceOK {
 		t.Fatalf("healthy readyz = %+v", ready)
@@ -477,7 +477,7 @@ func TestHealthzAndDrain(t *testing.T) {
 		t.Fatalf("mine while draining: code %q", code)
 	}
 	// … readiness reports it …
-	var ready readiness
+	var ready Readiness
 	doJSON(t, "GET", ts.URL+"/api/v1/readyz", nil, http.StatusServiceUnavailable, &ready)
 	if ready.Ready || len(ready.Reasons) == 0 {
 		t.Fatalf("readyz while draining = %+v", ready)

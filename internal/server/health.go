@@ -31,10 +31,16 @@ const (
 	drainMaxTimeout     = 5 * time.Minute
 )
 
-// readiness is the readyz body. It deliberately has no "error" key:
-// a 503 here is a routing signal, not a request failure envelope.
-type readiness struct {
+// Readiness is the readyz body — exported because it is a wire type
+// the cluster router parses to classify shard health. It deliberately
+// has no "error" key: a 503 here is a routing signal, not a request
+// failure envelope.
+type Readiness struct {
 	Ready bool `json:"ready"`
+	// ShardID names this process (Options.ShardID) so a router or chaos
+	// harness can attribute the probe to a specific shard; empty when
+	// the server runs without a configured shard id.
+	ShardID string `json:"shardId,omitempty"`
 	// Persistence is "ok" or "degraded" (see storeHealth).
 	Persistence string `json:"persistence"`
 	// Pool is the mine-pool load snapshot behind the saturation check.
@@ -63,7 +69,11 @@ type DrainReport struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body := map[string]string{"status": "ok"}
+	if s.opts.ShardID != "" {
+		body["shardId"] = s.opts.ShardID
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -86,8 +96,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if len(reasons) > 0 {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, readiness{
+	writeJSON(w, code, Readiness{
 		Ready:       len(reasons) == 0,
+		ShardID:     s.opts.ShardID,
 		Persistence: s.health.state(),
 		Pool:        st,
 		Reasons:     reasons,

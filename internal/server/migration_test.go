@@ -1,0 +1,265 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// Two in-process "shards" sharing one Store — the minimal cluster
+// topology, with the router replaced by the test driving requests to
+// the right shard by hand. These tests pin the contracts the cluster
+// tier (internal/cluster) is built on.
+
+func newShardPair(t *testing.T) (a, b *httptest.Server) {
+	t.Helper()
+	store := NewMemStore()
+	srvA := NewWithOptions(Options{Store: store, ShardID: "shard-a"})
+	srvB := NewWithOptions(Options{Store: store, ShardID: "shard-b"})
+	tsA := httptest.NewServer(srvA.Handler())
+	tsB := httptest.NewServer(srvB.Handler())
+	t.Cleanup(func() {
+		tsA.Close()
+		tsB.Close()
+		srvA.Close()
+		srvB.Close()
+	})
+	return tsA, tsB
+}
+
+// canonicalMineJSON strips the scheduling-dependent mine-response
+// fields (job id, SI-bound pruning counters — DESIGN.md §6/§9);
+// everything else must be byte-identical across a migration.
+func canonicalMineJSON(t *testing.T, m *MineResponse) []byte {
+	t.Helper()
+	c := *m
+	c.Job = ""
+	c.BoundEvals = 0
+	c.Pruned = 0
+	raw, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestMigrationByteIdentical is the migration property test: a session
+// built up on shard A (explicit id, k commits), handed off, and adopted
+// by shard B via transparent restore-on-miss mines byte-identical
+// results at its pinned model version, and exports an identical model
+// and history. Run across datasets and commit depths so the property
+// is not an artifact of one belief state.
+func TestMigrationByteIdentical(t *testing.T) {
+	cases := []struct {
+		dataset string
+		seed    int64
+		commits int
+	}{
+		{"synthetic", 11, 0},
+		{"synthetic", 12, 2},
+		{"crime", 7, 1},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s_seed%d_c%d", tc.dataset, tc.seed, tc.commits), func(t *testing.T) {
+			tsA, tsB := newShardPair(t)
+			id := fmt.Sprintf("mig-%s-%d", tc.dataset, tc.seed)
+			var info SessionInfo
+			doJSON(t, "POST", tsA.URL+"/api/v1/sessions", CreateRequest{
+				ID: id, Dataset: tc.dataset, Seed: tc.seed, Depth: 2, BeamWidth: 8,
+			}, http.StatusCreated, &info)
+			if info.ID != id {
+				t.Fatalf("created id %q, want %q", info.ID, id)
+			}
+			if info.Shard != "shard-a" {
+				t.Fatalf("created on shard %q, want shard-a", info.Shard)
+			}
+			for i := 0; i < tc.commits; i++ {
+				doJSON(t, "POST", tsA.URL+"/api/v1/sessions/"+id+"/mine", nil, http.StatusOK, nil)
+				doJSON(t, "POST", tsA.URL+"/api/v1/sessions/"+id+"/commit", nil, http.StatusOK, nil)
+			}
+			// Observation mine on A: the reference the migrated session
+			// must reproduce. Mining does not change durable state, so
+			// the snapshot handed off below is the same belief state this
+			// mine ran against.
+			var mineA MineResponse
+			doJSON(t, "POST", tsA.URL+"/api/v1/sessions/"+id+"/mine", nil, http.StatusOK, &mineA)
+			var histA, modelA json.RawMessage
+			doJSON(t, "GET", tsA.URL+"/api/v1/sessions/"+id+"/history", nil, http.StatusOK, &histA)
+			doJSON(t, "GET", tsA.URL+"/api/v1/sessions/"+id+"/model", nil, http.StatusOK, &modelA)
+
+			// Handoff: flush + evict from A. The store now owns the state.
+			var ho struct {
+				ID   string `json:"id"`
+				Live bool   `json:"live"`
+			}
+			doJSON(t, "POST", tsA.URL+"/api/v1/sessions/"+id+"/handoff", nil, http.StatusOK, &ho)
+			if !ho.Live {
+				t.Fatal("handoff reported the session as not live on A")
+			}
+			// Idempotent: a second handoff is a no-op success.
+			doJSON(t, "POST", tsA.URL+"/api/v1/sessions/"+id+"/handoff", nil, http.StatusOK, &ho)
+			if ho.Live {
+				t.Fatal("second handoff claims the session was still live")
+			}
+
+			// Adoption on B is transparent: the first touch restores.
+			var mineB MineResponse
+			doJSON(t, "POST", tsB.URL+"/api/v1/sessions/"+id+"/mine", nil, http.StatusOK, &mineB)
+			if mineB.ModelVersion != mineA.ModelVersion {
+				t.Fatalf("migrated mine pinned version %d, want %d", mineB.ModelVersion, mineA.ModelVersion)
+			}
+			if a, b := canonicalMineJSON(t, &mineA), canonicalMineJSON(t, &mineB); string(a) != string(b) {
+				t.Fatalf("migrated mine diverged:\n A: %s\n B: %s", a, b)
+			}
+			var histB, modelB json.RawMessage
+			doJSON(t, "GET", tsB.URL+"/api/v1/sessions/"+id+"/history", nil, http.StatusOK, &histB)
+			doJSON(t, "GET", tsB.URL+"/api/v1/sessions/"+id+"/model", nil, http.StatusOK, &modelB)
+			if string(histA) != string(histB) {
+				t.Fatalf("history diverged:\n A: %s\n B: %s", histA, histB)
+			}
+			if string(modelA) != string(modelB) {
+				t.Fatal("model export diverged across migration")
+			}
+
+			// The migrated session keeps working: commit on B advances it.
+			doJSON(t, "POST", tsB.URL+"/api/v1/sessions/"+id+"/commit", nil, http.StatusOK, nil)
+		})
+	}
+}
+
+// TestCreateExplicitID pins the explicit-id create contract: a valid
+// requested id is honored, a taken id answers 409 session_exists (on
+// the same shard and across shards sharing a store), and an invalid id
+// is a 400.
+func TestCreateExplicitID(t *testing.T) {
+	tsA, tsB := newShardPair(t)
+	req := CreateRequest{ID: "router-0001", Dataset: "synthetic", Seed: 3, Depth: 2, BeamWidth: 8}
+	var info SessionInfo
+	doJSON(t, "POST", tsA.URL+"/api/v1/sessions", req, http.StatusCreated, &info)
+	if info.ID != "router-0001" {
+		t.Fatalf("id %q, want router-0001", info.ID)
+	}
+	var env envelope
+	doJSON(t, "POST", tsA.URL+"/api/v1/sessions", req, http.StatusConflict, &env)
+	if env.Error.Code != errSessionExists {
+		t.Fatalf("same-shard duplicate: code %q, want %q", env.Error.Code, errSessionExists)
+	}
+	// Persist so the sibling shard can see it through the shared store,
+	// then try to create the same id there.
+	doJSON(t, "POST", tsA.URL+"/api/v1/sessions/router-0001/snapshot", nil, http.StatusOK, nil)
+	doJSON(t, "POST", tsB.URL+"/api/v1/sessions", req, http.StatusConflict, &env)
+	if env.Error.Code != errSessionExists {
+		t.Fatalf("cross-shard duplicate: code %q, want %q", env.Error.Code, errSessionExists)
+	}
+	doJSON(t, "POST", tsA.URL+"/api/v1/sessions", CreateRequest{ID: "bad/id", Dataset: "synthetic"},
+		http.StatusBadRequest, nil)
+}
+
+// TestHandoffWhileMining: a session with an in-flight mine refuses the
+// handoff with 409 mine_in_progress (and a retry hint) instead of
+// migrating under a running job.
+func TestHandoffWhileMining(t *testing.T) {
+	ts := newTestServer(t)
+	var info SessionInfo
+	doJSON(t, "POST", ts.URL+"/api/v1/sessions", CreateRequest{Dataset: "synthetic", Seed: 5},
+		http.StatusCreated, &info)
+	// Claim a mine slot through the async API; the job may be queued or
+	// running — either way the slot is held until it finishes.
+	var job struct {
+		ID string `json:"id"`
+	}
+	doJSON(t, "POST", ts.URL+"/api/v1/sessions/"+info.ID+"/mine",
+		MineRequest{Async: true}, http.StatusAccepted, &job)
+	var env envelope
+	// The slot may already have drained if the mine finished instantly;
+	// accept either the 409 or, once done, a clean handoff.
+	req, _ := http.NewRequest("POST", ts.URL+"/api/v1/sessions/"+info.ID+"/handoff", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusConflict:
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Error.Code != errMineInProgress {
+			t.Fatalf("code %q, want %q", env.Error.Code, errMineInProgress)
+		}
+		if env.Error.RetryAfterMs <= 0 {
+			t.Fatal("409 handoff must carry a retry hint")
+		}
+	case http.StatusOK:
+		// The mine outran us; nothing left to assert about the race.
+	default:
+		t.Fatalf("handoff during mine: status %d", resp.StatusCode)
+	}
+	// Once the job drains the handoff must succeed.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		req, _ := http.NewRequest("POST", ts.URL+"/api/v1/sessions/"+info.ID+"/handoff", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("handoff never succeeded after mine; last status %d", resp.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestStaleWriteFence: a Put carrying less progress than the stored
+// snapshot is dropped — the lost-update guard behind post-handoff LRU
+// evictions of idle replicas (DESIGN.md §12).
+func TestStaleWriteFence(t *testing.T) {
+	store := NewMemStore()
+	srv := NewWithOptions(Options{Store: store})
+	defer srv.Close()
+
+	fresh := &Snapshot{ID: "fence", Create: CreateRequest{Dataset: "synthetic"},
+		Model: json.RawMessage(`{"v":2}`), Iterations: 3,
+		History: []PatternJSON{{Kind: "location"}, {Kind: "location"}, {Kind: "location"}}}
+	fresh.Seal()
+	if err := srv.storePut(fresh); err != nil {
+		t.Fatal(err)
+	}
+	stale := &Snapshot{ID: "fence", Create: CreateRequest{Dataset: "synthetic"},
+		Model: json.RawMessage(`{"v":1}`), Iterations: 1,
+		History: []PatternJSON{{Kind: "location"}}}
+	stale.Seal()
+	if err := srv.storePut(stale); err != nil {
+		t.Fatalf("stale put must be dropped silently, got %v", err)
+	}
+	got, err := store.Get("fence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iterations != 3 {
+		t.Fatalf("stale put overwrote the store: iterations %d, want 3", got.Iterations)
+	}
+	// Equal progress is not stale: byte-identical determinism makes it
+	// the same state, and the rewrite must go through (heal probes).
+	equal := &Snapshot{ID: "fence", Create: CreateRequest{Dataset: "synthetic"},
+		Model: json.RawMessage(`{"v":3}`), Iterations: 3,
+		History: []PatternJSON{{Kind: "location"}, {Kind: "location"}, {Kind: "location"}}}
+	equal.Seal()
+	if err := srv.storePut(equal); err != nil {
+		t.Fatal(err)
+	}
+	got, err = store.Get("fence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Model) != `{"v":3}` {
+		t.Fatalf("equal-progress put was dropped: model %s", got.Model)
+	}
+}

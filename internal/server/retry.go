@@ -102,6 +102,24 @@ func (h *storeHealth) lastError() error {
 // failed; the caller decides whether that is fatal (explicit snapshot)
 // or best-effort (create).
 func (s *Server) storePut(snap *Snapshot) error {
+	// Stale-write fence (cluster migration safety, DESIGN.md §12). A
+	// session's durable state only grows — iterations and history are
+	// append-only, and byte-identical determinism makes equal progress
+	// equal state — so a Put carrying *less* progress than the stored
+	// snapshot can only be a stale copy: typically an idle replica of a
+	// session whose ownership moved to another shard (which advanced it
+	// there) being LRU-evicted here. Dropping the write is success, not
+	// failure — the store already holds a strictly fresher version. The
+	// read-compare-write is not atomic across processes; the fence
+	// closes the common lost-update window (idle eviction after
+	// handoff), while the router's one-owner-at-a-time discipline
+	// prevents concurrent divergent writers in the first place.
+	if prev, err := s.store.Get(snap.ID); err == nil {
+		if prev.Iterations > snap.Iterations ||
+			(prev.Iterations == snap.Iterations && len(prev.History) > len(snap.History)) {
+			return nil
+		}
+	}
 	attempts := putAttempts
 	if s.health.degraded.Load() {
 		// Known-bad store: probe once per call. Success heals; adding

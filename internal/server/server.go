@@ -110,6 +110,12 @@ type Options struct {
 	// is clamped to it, so no job can occupy a worker unboundedly and
 	// cancellation takes effect no later than the budget.
 	MaxMineBudget time.Duration
+	// ShardID, when set, names this process in healthz/readyz responses
+	// and session listings so a cluster router (internal/cluster) and
+	// the chaos harness can attribute failures to a specific shard. The
+	// id is stable for the life of the process; it has no effect on
+	// behavior, only on reporting.
+	ShardID string
 }
 
 func (o Options) withDefaults() Options {
@@ -310,6 +316,7 @@ func (s *Server) routes(mux *http.ServeMux, prefix string) {
 	mux.HandleFunc("GET "+prefix+"/sessions/{id}/history", s.handleHistory)
 	mux.HandleFunc("GET "+prefix+"/sessions/{id}/model", s.handleModel)
 	mux.HandleFunc("POST "+prefix+"/sessions/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST "+prefix+"/sessions/{id}/handoff", s.handleHandoff)
 	mux.HandleFunc("GET "+prefix+"/jobs", s.handleJobList)
 	mux.HandleFunc("GET "+prefix+"/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", s.handleJobCancel)
@@ -320,6 +327,13 @@ func (s *Server) routes(mux *http.ServeMux, prefix string) {
 
 // CreateRequest configures a new session.
 type CreateRequest struct {
+	// ID, when set, requests a specific session id instead of a
+	// server-generated one (letters, digits, '-', '_'; max 64 chars). A
+	// taken id — live, recently deleted, or present in the store —
+	// answers 409 session_exists. This is the handle the cluster router
+	// uses: it must know a session's id *before* placing it on a shard,
+	// because the consistent-hash ring maps ids to shards.
+	ID string `json:"id,omitempty"`
 	// Dataset is a builtin name (synthetic|crime|mammals|socio|water) or
 	// "csv" with the data inline in CSV.
 	Dataset string  `json:"dataset"`
@@ -358,6 +372,10 @@ type SessionInfo struct {
 	// Persistence is set to "degraded" when the store was unreachable
 	// at create time: the session lives in memory only until it heals.
 	Persistence string `json:"persistence,omitempty"`
+	// Shard is the serving process's ShardID (when configured): in a
+	// cluster, listings merged by the router say which shard holds each
+	// live session.
+	Shard string `json:"shard,omitempty"`
 }
 
 // PatternJSON is the wire form of a mined pattern.
@@ -434,6 +452,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 const (
 	errBadRequest      = "bad_request"
 	errNotFound        = "not_found"
+	errSessionExists   = "session_exists"
 	errMineInProgress  = "mine_in_progress"
 	errNothingPending  = "nothing_pending"
 	errQueueFull       = "queue_full"
@@ -572,41 +591,79 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, errBadRequest, 0, "invalid JSON: %v", err)
 		return
 	}
+	if req.ID != "" && !validID(req.ID) {
+		writeError(w, r, http.StatusBadRequest, errBadRequest, 0,
+			"invalid session id %q (letters, digits, '-', '_'; max 64 chars)", req.ID)
+		return
+	}
 	sess, err := newSession(&req)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, errBadRequest, 0, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	// Probe for a free id: another process sharing the store (or a
-	// restored set of sessions) may already own the next counter value,
-	// and a Put under a reused id would silently overwrite its snapshot.
-	// A store error counts as "taken" (conservative), with a bounded
-	// number of probes so a wholly broken store cannot spin forever.
-	// Two processes creating at the same instant can still race the
-	// probe — shared DirStores are for restart/failover continuity, not
-	// coordination-free concurrent writes.
 	var id string
-	for probes := 0; ; probes++ {
-		s.nextID++
-		id = fmt.Sprintf("s%04d", s.nextID)
-		if probes >= 10000 {
+	if req.ID != "" {
+		// Requested id (cluster routing): reserve it in the live map
+		// under the lock — a racing create of the same id loses there —
+		// then probe the store, which another shard may already own.
+		id = req.ID
+		sess.id = id
+		s.mu.Lock()
+		_, live := s.sessions[id]
+		_, dead := s.tombstones[id]
+		if !live && !dead {
+			s.sessions[id] = sess
+		}
+		s.mu.Unlock()
+		taken := live || dead
+		if !taken {
+			if _, err := s.store.Get(id); !errors.Is(err, ErrNotFound) {
+				taken = true
+				s.mu.Lock()
+				if s.sessions[id] == sess {
+					delete(s.sessions, id)
+				}
+				s.mu.Unlock()
+			}
+		}
+		if taken {
+			engine.EvictLanguage(sess.miner.DS)
+			writeError(w, r, http.StatusConflict, errSessionExists, 0,
+				"session %q already exists", id)
+			return
+		}
+	} else {
+		s.mu.Lock()
+		// Probe for a free id: another process sharing the store (or a
+		// restored set of sessions) may already own the next counter value,
+		// and a Put under a reused id would silently overwrite its snapshot.
+		// A store error counts as "taken" (conservative), with a bounded
+		// number of probes so a wholly broken store cannot spin forever.
+		// Two processes creating at the same instant can still race the
+		// probe — shared DirStores are for restart/failover continuity, not
+		// coordination-free concurrent writes (the cluster router avoids
+		// the race entirely by creating with explicit ids).
+		for probes := 0; ; probes++ {
+			s.nextID++
+			id = fmt.Sprintf("s%04d", s.nextID)
+			if probes >= 10000 {
+				break
+			}
+			if _, live := s.sessions[id]; live {
+				continue
+			}
+			if _, dead := s.tombstones[id]; dead {
+				continue
+			}
+			if _, err := s.store.Get(id); !errors.Is(err, ErrNotFound) {
+				continue
+			}
 			break
 		}
-		if _, live := s.sessions[id]; live {
-			continue
-		}
-		if _, dead := s.tombstones[id]; dead {
-			continue
-		}
-		if _, err := s.store.Get(id); !errors.Is(err, ErrNotFound) {
-			continue
-		}
-		break
+		sess.id = id
+		s.sessions[id] = sess
+		s.mu.Unlock()
 	}
-	sess.id = id
-	s.sessions[id] = sess
-	s.mu.Unlock()
 	s.persist(sess) // best-effort: a restart should know the session exists
 	s.enforceCaps()
 	ds := sess.miner.DS
@@ -614,6 +671,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		ID: id, Dataset: ds.Name,
 		N: ds.N(), Dx: ds.Dx(), Dy: ds.Dy(),
 		Targets: ds.TargetNames,
+		Shard:   s.opts.ShardID,
 	}
 	// Degraded persistence at create time means the session exists in
 	// memory only — worth telling the client up front.
@@ -852,6 +910,7 @@ func (s *Server) info(id string) (SessionInfo, bool) {
 		N: ds.N(), Dx: ds.Dx(), Dy: ds.Dy(),
 		Targets:    ds.TargetNames,
 		Iterations: int(sess.iterations.Load()),
+		Shard:      s.opts.ShardID,
 	}, true
 }
 
@@ -1390,6 +1449,76 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		"id":         snap.ID,
 		"iterations": snap.Iterations,
 		"savedAt":    snap.SavedAt,
+		"modelBytes": len(snap.Model),
+	})
+}
+
+// handleHandoff flushes the session durably and evicts it from this
+// process's memory, leaving the snapshot in the store for another shard
+// to adopt — the migration primitive of the cluster tier (DESIGN.md
+// §12). The router calls it on the shard losing ownership of a session,
+// then routes the next request to the new owner, which restores from
+// the shared store transparently. Unlike DELETE, no tombstone is
+// written and the store entry survives; unlike LRU eviction, a flush
+// failure is surfaced (503) instead of silently keeping the session —
+// migrating without a durable snapshot would hand the new owner stale
+// state. Idempotent: handing off a session this process does not hold
+// in memory succeeds without touching the store.
+func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		// Not live here: nothing to flush. Whether the id exists at all
+		// is the adopting shard's question (restore-on-miss 404s there).
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "live": false})
+		return
+	}
+	// Lock order commitMu → sess.mu → s.mu, same as tryEvict: the
+	// commitMu hold keeps a concurrent commit from interleaving its Put
+	// between our flush and the close.
+	sess.commitMu.Lock()
+	defer sess.commitMu.Unlock()
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "live": false})
+		return
+	}
+	if sess.mines > 0 {
+		// An in-flight mine holds references into this process's model
+		// state; migrating under it would strand the job. The router
+		// retries after the job drains.
+		sess.mu.Unlock()
+		writeError(w, r, http.StatusConflict, errMineInProgress, time.Second,
+			"mine in progress; retry handoff when the job finishes")
+		return
+	}
+	snap, err := sess.snapshotLocked()
+	if err != nil {
+		sess.mu.Unlock()
+		writeError(w, r, http.StatusInternalServerError, errInternal, 0, "handoff snapshot: %v", err)
+		return
+	}
+	if err := s.storePut(snap); err != nil {
+		sess.mu.Unlock()
+		writeError(w, r, http.StatusServiceUnavailable, errStoreDegraded, degradedRetryAfter,
+			"handoff flush: %v", err)
+		return
+	}
+	sess.closed = true
+	sess.mu.Unlock()
+	s.mu.Lock()
+	if s.sessions[id] == sess {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	engine.EvictLanguage(sess.miner.DS)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":         id,
+		"live":       true,
+		"iterations": snap.Iterations,
 		"modelBytes": len(snap.Model),
 	})
 }
