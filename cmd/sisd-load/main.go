@@ -24,6 +24,16 @@
 //
 //	sisd-load -chaos -server-bin ./sisd-server -store-dir /tmp/chaos
 //
+// Adding -replicas N (N >= 3) turns the chaos run into the replica-kill
+// leg: the server persists through a quorum-replicated store over N
+// replica directories, one replica's disk dies mid-commit-stream and
+// stays dead across the SIGKILL/restart (restores must be
+// byte-identical from the survivors), a second death must degrade the
+// server to serve-from-memory, and after healing both, anti-entropy
+// must converge every replica directory byte-identically.
+//
+//	sisd-load -chaos -replicas 3 -server-bin ./sisd-server -store-dir /tmp/chaos
+//
 // With -cluster the harness measures horizontal scale-out (DESIGN.md
 // §12): the same workload against one sisd-server subprocess, then
 // against a consistent-hash router fronting -shards shard subprocesses
@@ -71,6 +81,7 @@ func main() {
 	serverBin := flag.String("server-bin", "", "with -chaos/-cluster: path to the sisd-server binary to spawn")
 	storeDir := flag.String("store-dir", "", "with -chaos/-cluster: snapshot directory for the spawned processes (created if missing)")
 	killAfterMS := flag.Int("kill-after-ms", 0, "with -chaos: SIGKILL delay after the first commit (0 = 50ms)")
+	replicas := flag.Int("replicas", 0, "with -chaos: run the replica-kill leg against a quorum-replicated store with this many replica dirs (0/1 = single DirStore; needs >= 3)")
 	flag.Parse()
 	if *target != "" {
 		*addr = *target
@@ -114,6 +125,7 @@ func main() {
 			Depth:       *depth,
 			BeamWidth:   *beam,
 			KillAfterMS: *killAfterMS,
+			Replicas:    *replicas,
 		}
 		if set["users"] {
 			cfg.Users = *users

@@ -23,6 +23,20 @@
 // expired, best-so-far returned) or "timeout" (budget expired before
 // anything was scored).
 //
+// Durability scales from none to replicated: no -store-dir keeps
+// snapshots in memory, one -store-dir persists them to a single
+// directory, and repeating -store-dir builds a quorum-replicated store
+// over N directories (ideally on independent disks): writes need
+// -store-quorum acks (default majority), reads repair lagging or
+// corrupt replicas from the freshest quorum copy, and a background
+// anti-entropy sweep (-store-sweep) converges replicas that were down.
+// Losing a minority of replica disks leaves serving unaffected (readyz
+// reports a store_replica_degraded warning with per-replica health);
+// losing quorum degrades to serve-from-memory per DESIGN.md §11.
+//
+//	sisd-server -store-dir /mnt/diskA/sisd -store-dir /mnt/diskB/sisd \
+//	            -store-dir /mnt/diskC/sisd -store-quorum 2
+//
 // Lifecycle: GET /api/v1/healthz and /api/v1/readyz serve probes, and
 // SIGTERM/SIGINT triggers a graceful shutdown — the server drains
 // (stops accepting sessions and mines, waits for in-flight jobs up to
@@ -42,11 +56,22 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
 )
+
+// dirList collects repeated -store-dir flags.
+type dirList []string
+
+func (d *dirList) String() string { return strings.Join(*d, ",") }
+
+func (d *dirList) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
 
 // debugServer exposes net/http/pprof on its own listener, opt-in via
 // -debug-addr. Profiles never share the API port: the API mux stays
@@ -76,7 +101,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sisd-server: ")
 	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port; the actual address is logged)")
-	storeDir := flag.String("store-dir", "", "directory for session snapshots (empty = in-memory store)")
+	var storeDirs dirList
+	flag.Var(&storeDirs, "store-dir", "directory for session snapshots; repeat for a quorum-replicated store over N dirs (empty = in-memory store)")
+	storeQuorum := flag.Int("store-quorum", 0, "write quorum W across repeated -store-dir replicas (0 = majority); reads need N-W+1 replies")
+	storeSweep := flag.Duration("store-sweep", 30*time.Second, "anti-entropy sweep interval for a replicated store (0 = manual only)")
 	workers := flag.Int("workers", 0, "concurrent mine jobs (0 = max(2, NumCPU/2))")
 	queueCap := flag.Int("queue", 0, "pending mine queue capacity before 503 (0 = 256)")
 	maxSessions := flag.Int("max-sessions", 0, "live in-memory session cap; LRU beyond it is evicted to the store (0 = 256)")
@@ -98,8 +126,11 @@ func main() {
 	if *debugAddr != "" {
 		debugServer(*debugAddr)
 	}
-	if *storeDir != "" {
-		store, err := server.NewDirStore(*storeDir)
+	switch len(storeDirs) {
+	case 0:
+		// in-memory store
+	case 1:
+		store, err := server.NewDirStore(storeDirs[0])
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -107,7 +138,24 @@ func main() {
 			log.Printf("store recovery: removed %d torn temp file(s), quarantined %d corrupt snapshot(s)", tmp, quarantined)
 		}
 		opts.Store = store
-		log.Printf("persisting sessions to %s", *storeDir)
+		log.Printf("persisting sessions to %s", storeDirs[0])
+	default:
+		store, err := server.NewReplicatedDirStore(storeDirs, *storeQuorum, *storeSweep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		opts.Store = store
+		w, r, n := store.Quorum()
+		log.Printf("replicating sessions across %d dirs (write quorum %d, read quorum %d): %s", n, w, r, storeDirs.String())
+		// Prime the breakers with one operation so replicas that are
+		// already dead show up in the startup log.
+		_, _ = store.List()
+		for _, h := range store.ReplicaHealth() {
+			if h.LastError != "" {
+				log.Printf("store replica %s unavailable: %s", h.ID, h.LastError)
+			}
+		}
 	}
 	api := server.NewWithOptions(opts)
 	defer api.Close()

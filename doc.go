@@ -44,7 +44,11 @@
 // cmd/sisd-router scales that horizontally — a stateless
 // consistent-hash router places sessions on N server shards over a
 // shared snapshot store and migrates them between shards by snapshot
-// handoff (DESIGN.md §12).
+// handoff (DESIGN.md §12). Snapshots themselves survive disk loss via
+// the quorum-replicated store (repeatable -store-dir; DESIGN.md §13):
+// writes need W of N replica directories, reads take the freshest of a
+// read quorum and repair the rest, and a background anti-entropy sweep
+// converges replicas that were down.
 //
 // See the examples/ directory for runnable end-to-end programs and
 // DESIGN.md for the system inventory and the mapping from the paper's

@@ -63,11 +63,22 @@ type Plan struct {
 	Latency time.Duration
 }
 
-// Stats counts operations seen and failures injected.
+// Stats counts operations seen and failures injected, so tests can
+// assert their faults actually fired instead of passing vacuously.
 type Stats struct {
 	Puts, Gets, Deletes, Lists int
 	FailedPuts, FailedGets     int
 	TornPuts                   int
+	// Mangled counts torn Puts that actually wrote a mangled snapshot
+	// to the inner store (TornPuts entries with a nil Mangle fail hard
+	// without writing, and don't count here).
+	Mangled int
+}
+
+// Injected returns the total number of injected failures across all
+// operation kinds — a convenient non-vacuity assertion for tests.
+func (st Stats) Injected() int {
+	return st.FailedPuts + st.FailedGets
 }
 
 // Store wraps an Inner with fault injection. Safe for concurrent use
@@ -183,6 +194,9 @@ func (s *Store[S]) Put(snap *S) error {
 		if s.Mangle != nil {
 			mangled := s.Mangle(*snap)
 			_ = s.inner.Put(&mangled) // the tear persists; the error still surfaces
+			s.mu.Lock()
+			s.stats.Mangled++
+			s.mu.Unlock()
 		}
 		return err
 	}

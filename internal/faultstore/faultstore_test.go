@@ -99,8 +99,18 @@ func TestTornPutPersistsMangledAndFails(t *testing.T) {
 	if got.Body != "01234" {
 		t.Fatalf("mangled body = %q", got.Body)
 	}
-	if st := fs.Stats(); st.TornPuts != 1 {
+	if st := fs.Stats(); st.TornPuts != 1 || st.Mangled != 1 {
 		t.Fatalf("stats = %+v", st)
+	}
+	// A torn put with no Mangle hook fails hard without writing — it
+	// must not count as a mangle.
+	fs2 := New[snap](newMem(), Plan{TornPuts: []int{1}})
+	_ = fs2.Put(&snap{ID: "a", Body: "x"})
+	if st := fs2.Stats(); st.TornPuts != 1 || st.Mangled != 0 {
+		t.Fatalf("nil-Mangle stats = %+v", st)
+	}
+	if st := fs2.Stats(); st.Injected() != st.FailedPuts+st.FailedGets {
+		t.Fatalf("Injected() inconsistent: %+v", st)
 	}
 }
 

@@ -22,12 +22,14 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/repstore"
 	"repro/internal/server"
 )
 
@@ -54,6 +56,16 @@ type ChaosConfig struct {
 	// KillAfterMS is how long after the first acknowledged commit the
 	// SIGKILL lands (default 50ms — inside the commit stream).
 	KillAfterMS int `json:"killAfterMs,omitempty"`
+	// Replicas >= 2 runs the replica-kill leg: the server persists to a
+	// quorum-replicated store over Replicas subdirectories of StoreDir
+	// (write quorum = majority), one replica's directory dies
+	// mid-commit-stream and stays dead across the SIGKILL/restart (the
+	// restore must be byte-identical from the survivors), a second
+	// death degrades the server to serve-from-memory, and after healing
+	// both, anti-entropy must converge every replica directory to a
+	// byte-identical snapshot set. 0 or 1 runs the single-DirStore
+	// scenario with its corruption probes.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -100,6 +112,24 @@ type ChaosReport struct {
 	// surfaced as a snapshot_corrupt envelope (HTTP 500, no crash).
 	SweepProbeOK bool `json:"sweepProbeOk"`
 	ServeProbeOK bool `json:"serveProbeOk"`
+	// Replica-kill leg results (Replicas >= 2 only).
+	// ReplicaKilled is the replica directory broken mid-commit-stream
+	// and kept dead through the restart; ReplicaCorrupt the session
+	// whose surviving-replica copy was bit-flipped while the server was
+	// down (its restore must still be byte-identical — the quorum vote
+	// excludes the corrupt copy and read-repair rewrites it).
+	ReplicaKilled  string `json:"replicaKilled,omitempty"`
+	ReplicaCorrupt string `json:"replicaCorrupt,omitempty"`
+	// ReplicaDegradedSeen: with one replica dead, readyz stayed ready
+	// and carried the store_replica_degraded warning + per-replica
+	// health. QuorumLossOK: with two dead, the server degraded to
+	// serve-from-memory per §11 (commit persisted=false, snapshot 503,
+	// reads 200) rather than serving stale or torn state. ConvergedOK:
+	// after heal, anti-entropy converged all replica dirs to
+	// byte-identical snapshot sets and readyz cleared its warnings.
+	ReplicaDegradedSeen bool `json:"replicaDegradedSeen,omitempty"`
+	QuorumLossOK        bool `json:"quorumLossOk,omitempty"`
+	ConvergedOK         bool `json:"convergedOk,omitempty"`
 	// Mismatches holds diagnostics for every non-identical session.
 	Mismatches []string `json:"mismatches,omitempty"`
 	// Errors holds fatal harness errors (empty on a clean run).
@@ -257,6 +287,90 @@ func corruptSnapshot(storeDir, id string) error {
 	return os.WriteFile(path, raw, 0o644)
 }
 
+// replicaDirs lays out the replica directories under StoreDir.
+func replicaDirs(cfg ChaosConfig) []string {
+	dirs := make([]string, cfg.Replicas)
+	for i := range dirs {
+		dirs[i] = filepath.Join(cfg.StoreDir, fmt.Sprintf("r%d", i))
+	}
+	return dirs
+}
+
+// replicaArgs are the extra sisd-server flags for the replicated
+// store: the remaining -store-dir replicas (the first rides in the
+// positional startChaosServer arg), an explicit majority write quorum,
+// and a fast anti-entropy sweep so heal convergence fits a test run.
+func replicaArgs(dirs []string) []string {
+	args := []string{}
+	for _, d := range dirs[1:] {
+		args = append(args, "-store-dir", d)
+	}
+	args = append(args,
+		"-store-quorum", fmt.Sprint(len(dirs)/2+1),
+		"-store-sweep", "250ms")
+	return args
+}
+
+// breakReplicaDir simulates losing a replica's disk from outside the
+// process: the directory is renamed aside and a regular file takes its
+// place, so every store operation fails (ENOTDIR) even when the server
+// runs as root. healReplicaDir reverses it — the disk comes back with
+// whatever (stale) contents it had.
+func breakReplicaDir(dir string) error {
+	if err := os.Rename(dir, dir+".dead"); err != nil {
+		return err
+	}
+	return os.WriteFile(dir, []byte("dead replica"), 0o644)
+}
+
+func healReplicaDir(dir string) error {
+	if err := os.Remove(dir); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return os.Rename(dir+".dead", dir)
+}
+
+// replicaDirsConverged reports whether every replica dir holds the
+// same *.json file set with identical bytes (quarantined *.corrupt and
+// torn *.tmp files are ignored — they are not served state).
+func replicaDirsConverged(dirs []string) bool {
+	var refNames []string
+	refFiles := map[string][]byte{}
+	for i, dir := range dirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return false
+		}
+		var names []string
+		files := map[string][]byte{}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				return false
+			}
+			names = append(names, e.Name())
+			files[e.Name()] = raw
+		}
+		sort.Strings(names)
+		if i == 0 {
+			refNames, refFiles = names, files
+			continue
+		}
+		if len(names) != len(refNames) {
+			return false
+		}
+		for j, n := range names {
+			if n != refNames[j] || !bytes.Equal(files[n], refFiles[n]) {
+				return false
+			}
+		}
+	}
+	return len(refNames) > 0
+}
+
 // replayControl rebuilds the no-crash reference for one session on an
 // in-process server: same create request, `commits` mine+commit loops,
 // then the observation mine. Returns the canonical mine bytes, the
@@ -299,6 +413,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	if cfg.ServerBin == "" || cfg.StoreDir == "" {
 		return nil, fmt.Errorf("chaos: ServerBin and StoreDir are required")
 	}
+	if cfg.Replicas == 2 {
+		// At N=2 the majority write quorum is 2, so the mid-stream replica
+		// death would immediately cost the quorum and the failure ladder
+		// (one dead = warn, two dead = degrade) collapses to one rung.
+		return nil, fmt.Errorf("chaos: Replicas must be 0, 1, or >= 3")
+	}
 	wall := time.Now()
 	defer func() { rep.WallMS = float64(time.Since(wall)) / float64(time.Millisecond) }()
 	fail := func(format string, args ...any) (*ChaosReport, error) {
@@ -306,7 +426,20 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		return rep, nil
 	}
 
-	proc, err := startChaosServer(cfg.ServerBin, cfg.StoreDir)
+	// Replicated runs persist to Replicas subdirectories of StoreDir;
+	// the first replica is the positional store arg, the rest (plus the
+	// quorum and sweep flags) ride in extraArgs on every start.
+	replicated := cfg.Replicas >= 2
+	storeDir := cfg.StoreDir
+	var dirs []string
+	var extraArgs []string
+	if replicated {
+		dirs = replicaDirs(cfg)
+		storeDir = dirs[0]
+		extraArgs = replicaArgs(dirs)
+	}
+
+	proc, err := startChaosServer(cfg.ServerBin, storeDir, extraArgs...)
 	if err != nil {
 		return fail("start: %v", err)
 	}
@@ -366,6 +499,18 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		wg.Wait()
 		return fail("no commit landed within 2m; cannot crash mid-stream")
 	}
+	if replicated {
+		// Break one replica mid-commit-stream: commits must keep
+		// persisting through the surviving quorum, and this replica
+		// stays dead across the kill and restart.
+		victim := dirs[len(dirs)-1]
+		if err := breakReplicaDir(victim); err != nil {
+			proc.kill()
+			wg.Wait()
+			return fail("break replica: %v", err)
+		}
+		rep.ReplicaKilled = victim
+	}
 	time.Sleep(time.Duration(cfg.KillAfterMS) * time.Millisecond)
 	proc.kill()
 	wg.Wait()
@@ -379,10 +524,15 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	}
 
 	// Sacrifice up to two sessions to the corruption probes; the rest
-	// are compared byte-for-byte against the control run.
+	// are compared byte-for-byte against the control run. With a
+	// replicated store the single-file probes don't apply — corruption
+	// of one replica must be *transparent* instead: a bit-flipped copy
+	// on a surviving replica is excluded from the quorum vote and
+	// repaired, so its session still restores byte-identical and stays
+	// in the compared set.
 	compared := sessions
 	var sweepVictim, serveVictim *chaosSession
-	if len(sessions) >= 3 {
+	if !replicated && len(sessions) >= 3 {
 		sweepVictim = sessions[len(sessions)-1]
 		serveVictim = sessions[len(sessions)-2]
 		compared = sessions[:len(sessions)-2]
@@ -394,9 +544,23 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			return fail("sweep probe: %v", err)
 		}
 	}
+	if replicated {
+		// Bit-flip the first session's copy on a surviving replica while
+		// the server is down. The quorum read must exclude it from the
+		// freshness vote and read-repair it — the session stays in the
+		// compared set and must still restore byte-identical. (Skipped if
+		// the kill tore that replica's write and no file exists; rare,
+		// and the byte-identity checks still cover the quorum path.)
+		if err := corruptSnapshot(dirs[0], sessions[0].id); err == nil {
+			rep.ReplicaCorrupt = sessions[0].id
+		} else if !os.IsNotExist(err) {
+			return fail("replica corruption plant: %v", err)
+		}
+	}
 
-	// Phase 2: restart over the same store and interrogate survivors.
-	proc, err = startChaosServer(cfg.ServerBin, cfg.StoreDir)
+	// Phase 2: restart over the same store (a broken replica is still
+	// broken) and interrogate survivors.
+	proc, err = startChaosServer(cfg.ServerBin, storeDir, extraArgs...)
 	if err != nil {
 		return fail("restart: %v", err)
 	}
@@ -487,6 +651,136 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		}
 	}
 
+	// Replica probes (Replicas >= 3): walk the failure ladder from one
+	// dead replica (ready + warning) through quorum loss
+	// (serve-from-memory per DESIGN.md §11) to heal (anti-entropy
+	// converges every replica directory byte-identically).
+	if replicated {
+		probe := compared[0]
+		// Rung 1: one replica dead, quorum intact. Two mine+commit loops
+		// must still persist (each commit costs the dead replica a
+		// fence-Get and a Put failure, tripping its breaker past the
+		// threshold), after which readyz stays ready but warns
+		// store_replica_degraded and reports the tripped replica.
+		for i := 0; i < 2; i++ {
+			var m server.MineResponse
+			if _, _, err := chaosCall(client, "POST", proc.base, "/sessions/"+probe.id+"/mine", server.MineRequest{}, &m); err != nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("mine with one replica dead: %v", err))
+				break
+			}
+			var commit struct {
+				Persisted   bool   `json:"persisted"`
+				Persistence string `json:"persistence"`
+			}
+			if _, _, err := chaosCall(client, "POST", proc.base, "/sessions/"+probe.id+"/commit", nil, &commit); err != nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("commit with one replica dead: %v", err))
+				break
+			}
+			if !commit.Persisted {
+				rep.Errors = append(rep.Errors,
+					fmt.Sprintf("commit with one replica dead not persisted (%+v): quorum should survive one death", commit))
+				break
+			}
+		}
+		var ready server.Readiness
+		if code, _, err := chaosCall(client, "GET", proc.base, "/readyz", nil, &ready); err != nil || code != http.StatusOK {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("readyz with one replica dead: HTTP %d: %v", code, err))
+		} else {
+			warned := false
+			for _, w := range ready.Warnings {
+				if w == server.ReasonReplicaDegraded {
+					warned = true
+				}
+			}
+			unhealthy := 0
+			for _, r := range ready.Replicas {
+				if r.State != repstore.StateHealthy {
+					unhealthy++
+				}
+			}
+			rep.ReplicaDegradedSeen = ready.Ready && warned && unhealthy >= 1
+			if !rep.ReplicaDegradedSeen {
+				rep.Errors = append(rep.Errors,
+					fmt.Sprintf("readyz with one replica dead: ready=%v warnings=%v unhealthy=%d (want ready + %s warning + >=1 unhealthy replica)",
+						ready.Ready, ready.Warnings, unhealthy, server.ReasonReplicaDegraded))
+			}
+		}
+
+		// Rung 2: a second replica dies — the write quorum is gone.
+		// Commits must degrade to serve-from-memory (persisted=false),
+		// explicit snapshot persistence 503s with store_degraded, reads
+		// keep answering from memory, and readyz goes 503.
+		if err := breakReplicaDir(dirs[1]); err != nil {
+			return fail("break second replica: %v", err)
+		}
+		if err := func() error {
+			var m server.MineResponse
+			if _, _, err := chaosCall(client, "POST", proc.base, "/sessions/"+probe.id+"/mine", server.MineRequest{}, &m); err != nil {
+				return fmt.Errorf("mine under quorum loss: %w", err)
+			}
+			var commit struct {
+				Persisted   bool   `json:"persisted"`
+				Persistence string `json:"persistence"`
+			}
+			if _, _, err := chaosCall(client, "POST", proc.base, "/sessions/"+probe.id+"/commit", nil, &commit); err != nil {
+				return fmt.Errorf("commit under quorum loss: %w", err)
+			}
+			if commit.Persisted || commit.Persistence != "degraded" {
+				return fmt.Errorf("commit under quorum loss = %+v (want persisted=false persistence=degraded)", commit)
+			}
+			if code, errCode, _ := chaosCall(client, "POST", proc.base, "/sessions/"+probe.id+"/snapshot", nil, nil); code != http.StatusServiceUnavailable || errCode != "store_degraded" {
+				return fmt.Errorf("snapshot under quorum loss: HTTP %d code %q (want 503 store_degraded)", code, errCode)
+			}
+			if code, _, err := chaosCall(client, "GET", proc.base, "/sessions/"+probe.id+"/history", nil, nil); code != http.StatusOK {
+				return fmt.Errorf("history under quorum loss: HTTP %d: %v (reads must keep serving from memory)", code, err)
+			}
+			if code, _, _ := chaosCall(client, "GET", proc.base, "/readyz", nil, nil); code != http.StatusServiceUnavailable {
+				return fmt.Errorf("readyz under quorum loss: HTTP %d (want 503)", code)
+			}
+			return nil
+		}(); err != nil {
+			rep.Errors = append(rep.Errors, err.Error())
+		} else {
+			rep.QuorumLossOK = true
+		}
+
+		// Rung 3: heal both dead replicas. The degraded store recovers on
+		// the next persistence attempt, then the anti-entropy sweep
+		// (forced fast via -store-sweep) plus breaker reintegration must
+		// converge every replica directory to a byte-identical snapshot
+		// set and clear the readyz warning.
+		if err := healReplicaDir(dirs[1]); err != nil {
+			return fail("heal replica: %v", err)
+		}
+		if err := healReplicaDir(dirs[len(dirs)-1]); err != nil {
+			return fail("heal replica: %v", err)
+		}
+		recovered := false
+		for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+			if code, _, _ := chaosCall(client, "POST", proc.base, "/sessions/"+probe.id+"/snapshot", nil, nil); code == http.StatusOK {
+				recovered = true
+				break
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		if !recovered {
+			rep.Errors = append(rep.Errors, "store did not recover within 30s of healing the replicas")
+		} else {
+			for deadline := time.Now().Add(90 * time.Second); time.Now().Before(deadline); {
+				var rd server.Readiness
+				code, _, _ := chaosCall(client, "GET", proc.base, "/readyz", nil, &rd)
+				if code == http.StatusOK && len(rd.Warnings) == 0 && replicaDirsConverged(dirs) {
+					rep.ConvergedOK = true
+					break
+				}
+				time.Sleep(500 * time.Millisecond)
+			}
+			if !rep.ConvergedOK {
+				rep.Errors = append(rep.Errors, "replicas did not converge byte-identically within 90s of healing")
+			}
+		}
+	}
+
 	// Graceful teardown exercises the SIGTERM → drain → shutdown path.
 	if err := proc.stop(); err != nil {
 		rep.Errors = append(rep.Errors, fmt.Sprintf("graceful stop: %v", err))
@@ -495,7 +789,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	rep.OK = len(rep.Errors) == 0 && len(rep.Mismatches) == 0 &&
 		rep.Restored == rep.Compared && rep.Identical == rep.Compared &&
 		(sweepVictim == nil || rep.SweepProbeOK) &&
-		(serveVictim == nil || rep.ServeProbeOK)
+		(serveVictim == nil || rep.ServeProbeOK) &&
+		(!replicated || (rep.ReplicaDegradedSeen && rep.QuorumLossOK && rep.ConvergedOK))
 	return rep, nil
 }
 

@@ -41,3 +41,46 @@ func TestChaosSmoke(t *testing.T) {
 		t.Fatalf("corruption probes: sweep=%v serve=%v", rep.SweepProbeOK, rep.ServeProbeOK)
 	}
 }
+
+// TestChaosReplicaSmoke runs the replica-kill leg end-to-end against a
+// real server over a 3-replica quorum store: one replica dies
+// mid-commit-stream and stays dead through a SIGKILL/restart (restores
+// must be byte-identical from the survivors), a second death degrades
+// the server to serve-from-memory, and after healing both, anti-entropy
+// must converge every replica directory byte-identically. This is the
+// acceptance gate for DESIGN.md §13.
+func TestChaosReplicaSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replica chaos smoke builds and crashes a real server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "sisd-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sisd-server")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sisd-server: %v\n%s", err, out)
+	}
+	rep, err := RunChaos(ChaosConfig{
+		ServerBin:  bin,
+		StoreDir:   t.TempDir(),
+		Users:      2,
+		Iterations: 1,
+		Replicas:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("replica chaos run not ok: mismatches=%v errors=%v report=%+v",
+			rep.Mismatches, rep.Errors, rep)
+	}
+	if rep.Compared == 0 || rep.Identical != rep.Compared {
+		t.Fatalf("identical %d/%d compared", rep.Identical, rep.Compared)
+	}
+	if rep.ReplicaKilled == "" {
+		t.Fatal("no replica was killed")
+	}
+	if !rep.ReplicaDegradedSeen || !rep.QuorumLossOK || !rep.ConvergedOK {
+		t.Fatalf("ladder probes: degradedSeen=%v quorumLoss=%v converged=%v",
+			rep.ReplicaDegradedSeen, rep.QuorumLossOK, rep.ConvergedOK)
+	}
+}

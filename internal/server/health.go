@@ -9,7 +9,21 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/repstore"
 )
+
+// ReasonReplicaDegraded is the non-fatal readyz warning emitted when a
+// replicated store has lost replicas but still meets its write quorum:
+// serving is unaffected (Ready stays true), but the operator is one
+// more failure away from degraded mode and should replace the disk.
+const ReasonReplicaDegraded = "store_replica_degraded"
+
+// replicaHealthStore is implemented by replicated stores
+// (repstore.Replicated); single-backend stores don't report per-replica
+// health.
+type replicaHealthStore interface {
+	ReplicaHealth() []repstore.ReplicaHealth
+}
 
 // Lifecycle endpoints: the handles an orchestrator (or an operator's
 // shutdown script) needs to run the server safely.
@@ -47,6 +61,14 @@ type Readiness struct {
 	Pool jobs.Stats `json:"pool"`
 	// Reasons lists why Ready is false; empty when ready.
 	Reasons []string `json:"reasons,omitempty"`
+	// Warnings lists non-fatal conditions that don't affect Ready —
+	// currently only ReasonReplicaDegraded (a replicated store lost
+	// replicas but still meets quorum).
+	Warnings []string `json:"warnings,omitempty"`
+	// Replicas reports per-replica breaker health when the store is
+	// replicated (nil otherwise), so an operator can tell a dead disk
+	// from a dead process.
+	Replicas []repstore.ReplicaHealth `json:"replicas,omitempty"`
 }
 
 // DrainReport is the POST /drain response: what was flushed and
@@ -92,6 +114,22 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if st.Saturated() {
 		reasons = append(reasons, "mine queue full")
 	}
+	var warnings []string
+	var replicas []repstore.ReplicaHealth
+	if rh, ok := s.store.(replicaHealthStore); ok {
+		replicas = rh.ReplicaHealth()
+		unhealthy := 0
+		for _, r := range replicas {
+			if r.State != repstore.StateHealthy {
+				unhealthy++
+			}
+		}
+		// Quorum loss already surfaces through the fatal storeHealth
+		// reason above; a minority of broken replicas is a warning only.
+		if unhealthy > 0 && !s.health.degraded.Load() {
+			warnings = append(warnings, ReasonReplicaDegraded)
+		}
+	}
 	code := http.StatusOK
 	if len(reasons) > 0 {
 		code = http.StatusServiceUnavailable
@@ -102,6 +140,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		Persistence: s.health.state(),
 		Pool:        st,
 		Reasons:     reasons,
+		Warnings:    warnings,
+		Replicas:    replicas,
 	})
 }
 

@@ -115,8 +115,9 @@ func (s *Server) storePut(snap *Snapshot) error {
 	// handoff), while the router's one-owner-at-a-time discipline
 	// prevents concurrent divergent writers in the first place.
 	if prev, err := s.store.Get(snap.ID); err == nil {
-		if prev.Iterations > snap.Iterations ||
-			(prev.Iterations == snap.Iterations && len(prev.History) > len(snap.History)) {
+		pi, ph := prev.ProgressKey()
+		ni, nh := snap.ProgressKey()
+		if pi > ni || (pi == ni && ph > nh) {
 			return nil
 		}
 	}

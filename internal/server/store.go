@@ -127,6 +127,10 @@ func (s *MemStore) Get(id string) (*Snapshot, error) {
 		return nil, ErrNotFound
 	}
 	cp := *snap
+	// Deep-copy History to match Put and DirStore semantics: a caller
+	// appending to the returned snapshot's history must not write
+	// through into the stored copy's backing array.
+	cp.History = append([]PatternJSON(nil), snap.History...)
 	return &cp, nil
 }
 
